@@ -1,0 +1,35 @@
+//! The cache-assist buffer shared by every architecture in the paper.
+//!
+//! Paper §4: "We will model a variety of flavors of a cache assist
+//! buffer, which will serve at different times as a victim buffer,
+//! prefetch buffer, cache bypass buffer, or the adaptive miss buffer.
+//! In each case the structure is very similar. In most cases it will
+//! have eight fully-associative entries and have two read and two
+//! write ports. It can produce a word to the CPU in one cycle. A full
+//! cache line read or write requires a port for two cycles. A line
+//! swap with the data cache requires two ports for two cycles."
+//!
+//! [`AssistBuffer`] is the storage (fully-associative, LRU, generic
+//! per-entry metadata); [`BufferPorts`] is the timing model.
+//!
+//! # Examples
+//!
+//! ```
+//! use assist_buffer::AssistBuffer;
+//! use sim_core::LineAddr;
+//!
+//! let mut buf: AssistBuffer<&str> = AssistBuffer::new(2);
+//! buf.insert(LineAddr::new(1), "victim");
+//! buf.insert(LineAddr::new(2), "prefetch");
+//! let evicted = buf.insert(LineAddr::new(3), "bypass").unwrap();
+//! assert_eq!(evicted, (LineAddr::new(1), "victim")); // LRU out
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod ports;
+
+pub use buffer::{AssistBuffer, BufferStats};
+pub use ports::BufferPorts;

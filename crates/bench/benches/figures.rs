@@ -1,0 +1,71 @@
+//! One Criterion target per paper table/figure: each benchmark runs
+//! the corresponding experiment driver end to end (all workloads, all
+//! policies of that figure) at a reduced event count and reports the
+//! wall time of regenerating the artifact.
+
+use bench_suite::BENCH_EVENTS;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig1_accuracy(c: &mut Criterion) {
+    c.bench_function("fig1_accuracy_four_configs", |b| {
+        b.iter(|| black_box(experiments::fig1::run(black_box(BENCH_EVENTS))))
+    });
+}
+
+fn bench_fig2_tag_bits(c: &mut Criterion) {
+    c.bench_function("fig2_tag_bit_sweep", |b| {
+        b.iter(|| black_box(experiments::fig2::run(black_box(BENCH_EVENTS))))
+    });
+}
+
+fn bench_fig3_victim(c: &mut Criterion) {
+    c.bench_function("fig3_tab1_victim_policies", |b| {
+        b.iter(|| black_box(experiments::fig3::run(black_box(BENCH_EVENTS))))
+    });
+}
+
+fn bench_fig4_prefetch(c: &mut Criterion) {
+    c.bench_function("fig4_prefetch_filters", |b| {
+        b.iter(|| black_box(experiments::fig4::run(black_box(BENCH_EVENTS))))
+    });
+}
+
+fn bench_fig5_exclusion(c: &mut Criterion) {
+    c.bench_function("fig5_exclusion_policies", |b| {
+        b.iter(|| black_box(experiments::fig5::run(black_box(BENCH_EVENTS))))
+    });
+}
+
+fn bench_sec54_pseudo(c: &mut Criterion) {
+    c.bench_function("sec54_pseudo_associative", |b| {
+        b.iter(|| black_box(experiments::sec54::run(black_box(BENCH_EVENTS))))
+    });
+}
+
+fn bench_fig6_amb(c: &mut Criterion) {
+    c.bench_function("fig6_fig7_adaptive_miss_buffer", |b| {
+        b.iter(|| black_box(experiments::fig6::run(black_box(BENCH_EVENTS))))
+    });
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    c.bench_function("ablation_depth_window_buffer", |b| {
+        b.iter(|| black_box(experiments::ablation::run(black_box(BENCH_EVENTS / 2))))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig1_accuracy,
+        bench_fig2_tag_bits,
+        bench_fig3_victim,
+        bench_fig4_prefetch,
+        bench_fig5_exclusion,
+        bench_sec54_pseudo,
+        bench_fig6_amb,
+        bench_ablation,
+}
+criterion_main!(figures);

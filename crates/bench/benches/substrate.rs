@@ -1,0 +1,97 @@
+//! Microbenchmarks of the simulator substrate: how fast the cache
+//! model, the MCT, the 3C oracle, and the full CPU+memory pipeline
+//! process references. These are ablations for DESIGN.md's claim that
+//! the MCT is cheap (touched only on misses) while the oracle and the
+//! MAT-style every-access structures dominate simulation cost.
+
+use cache_model::oracle::ThreeCClassifier;
+use cache_model::{CacheGeometry, SetAssocCache};
+use cpu_model::{BaselineSystem, CpuConfig, OooModel};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mct::{ClassifyingCache, TagBits};
+use std::hint::black_box;
+use trace_gen::TraceSource;
+
+const N: usize = 100_000;
+
+fn lines(n: usize) -> Vec<sim_core::LineAddr> {
+    let w = workloads::by_name("gcc").expect("gcc analog exists");
+    let mut src = w.source(7);
+    (0..n)
+        .map(|_| src.next_event().access.addr.line(64))
+        .collect()
+}
+
+fn bench_plain_cache(c: &mut Criterion) {
+    let refs = lines(N);
+    let mut g = c.benchmark_group("substrate");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("plain_cache_probe_fill", |b| {
+        b.iter(|| {
+            let geom = CacheGeometry::new(16 * 1024, 1, 64).unwrap();
+            let mut cache: SetAssocCache<()> = SetAssocCache::new(geom);
+            for &line in &refs {
+                if cache.probe(line).is_none() {
+                    cache.fill(line, ());
+                }
+            }
+            black_box(cache.stats().misses())
+        })
+    });
+    g.finish();
+}
+
+fn bench_classifying_cache(c: &mut Criterion) {
+    let refs = lines(N);
+    let mut g = c.benchmark_group("substrate");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("mct_classifying_cache", |b| {
+        b.iter(|| {
+            let geom = CacheGeometry::new(16 * 1024, 1, 64).unwrap();
+            let mut cache = ClassifyingCache::new(geom, TagBits::Full);
+            for &line in &refs {
+                black_box(cache.access(line));
+            }
+            black_box(cache.class_counts())
+        })
+    });
+    g.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let refs = lines(N);
+    let mut g = c.benchmark_group("substrate");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("three_c_oracle", |b| {
+        b.iter(|| {
+            let mut oracle = ThreeCClassifier::new(256);
+            for &line in &refs {
+                black_box(oracle.observe(line));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let w = workloads::by_name("gcc").expect("gcc analog exists");
+    let mut src = w.source(7);
+    let trace: Vec<_> = (0..N).map(|_| src.next_event()).collect();
+    let mut g = c.benchmark_group("substrate");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("cpu_plus_baseline_memory", |b| {
+        b.iter(|| {
+            let mut sys = BaselineSystem::paper_default().unwrap();
+            let cpu = OooModel::new(CpuConfig::paper_default());
+            black_box(cpu.run(&mut sys, trace.iter().copied()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = substrate;
+    config = Criterion::default().sample_size(10);
+    targets = bench_plain_cache, bench_classifying_cache, bench_oracle, bench_full_pipeline,
+}
+criterion_main!(substrate);

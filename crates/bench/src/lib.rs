@@ -1,0 +1,18 @@
+//! Benchmark support: shared event counts for the per-figure Criterion
+//! targets.
+//!
+//! The real experiment runs use `experiments::DEFAULT_EVENTS` per
+//! workload; the benches use [`BENCH_EVENTS`] so a full `cargo bench`
+//! stays in the minutes range while still exercising every code path
+//! of every figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Events per workload for benchmark runs.
+pub const BENCH_EVENTS: usize = 20_000;
+
+// BENCH_EVENTS must cover several laps of the longest workload
+// interleave run (192 events) so all components are exercised; the
+// constant is asserted at compile time.
+const _: () = assert!(BENCH_EVENTS >= 10_000);

@@ -1,0 +1,176 @@
+//! Bank and port contention.
+//!
+//! The paper's L1 data cache is multi-ported via 8-way banking; the
+//! cache-assist buffers have two read and two write ports where a full
+//! line operation occupies a port for two cycles and a swap occupies
+//! two ports for two cycles. [`BankedPorts`] models both cases as a
+//! set of resources that each become free at some cycle.
+
+use sim_core::{Cycle, LineAddr};
+
+/// A set of independently scheduled resources (cache banks or buffer
+/// ports): each request reserves one resource for a span of cycles and
+/// is granted at the earliest time the target resource is free.
+///
+/// # Examples
+///
+/// ```
+/// use cache_model::BankedPorts;
+/// use sim_core::{Cycle, LineAddr};
+///
+/// // 2 buffer ports, requests addressed by line hash.
+/// let mut ports = BankedPorts::new(2);
+/// let now = Cycle::ZERO;
+/// assert_eq!(ports.acquire_any(now, 2), now);       // port 0 busy till 2
+/// assert_eq!(ports.acquire_any(now, 2), now);       // port 1 busy till 2
+/// assert_eq!(ports.acquire_any(now, 2), Cycle::new(2)); // must wait
+/// ```
+#[derive(Debug, Clone)]
+pub struct BankedPorts {
+    free_at: Vec<Cycle>,
+}
+
+impl BankedPorts {
+    /// Creates `count` resources, all free at cycle zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn new(count: usize) -> Self {
+        assert!(count > 0, "need at least one bank/port");
+        BankedPorts {
+            free_at: vec![Cycle::ZERO; count],
+        }
+    }
+
+    /// Number of resources.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Reserves the bank a line maps to (line-addressed banking) for
+    /// `busy` cycles starting no earlier than `now`; returns the grant
+    /// time.
+    pub fn acquire_for_line(&mut self, line: LineAddr, now: Cycle, busy: u64) -> Cycle {
+        let bank = (line.raw() % self.free_at.len() as u64) as usize;
+        self.acquire_index(bank, now, busy)
+    }
+
+    /// Reserves whichever resource frees first (port pools) for `busy`
+    /// cycles starting no earlier than `now`; returns the grant time.
+    pub fn acquire_any(&mut self, now: Cycle, busy: u64) -> Cycle {
+        let idx = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .expect("at least one resource");
+        self.acquire_index(idx, now, busy)
+    }
+
+    /// Reserves `n` resources simultaneously (a line swap needs two
+    /// ports); returns the common grant time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the resource count.
+    pub fn acquire_many(&mut self, n: usize, now: Cycle, busy: u64) -> Cycle {
+        assert!(
+            n <= self.free_at.len(),
+            "requested {n} of {} resources",
+            self.free_at.len()
+        );
+        // Pick the n earliest-free resources; the grant time is when
+        // the last of them frees.
+        let mut order: Vec<usize> = (0..self.free_at.len()).collect();
+        order.sort_by_key(|&i| self.free_at[i]);
+        let chosen = &order[..n];
+        let grant = chosen
+            .iter()
+            .map(|&i| self.free_at[i])
+            .fold(now, Cycle::max);
+        for &i in chosen {
+            self.free_at[i] = grant + busy;
+        }
+        grant
+    }
+
+    fn acquire_index(&mut self, idx: usize, now: Cycle, busy: u64) -> Cycle {
+        let grant = self.free_at[idx].max(now);
+        self.free_at[idx] = grant + busy;
+        grant
+    }
+
+    /// The earliest time any resource is free (no reservation made).
+    #[must_use]
+    pub fn earliest_free(&self) -> Cycle {
+        self.free_at
+            .iter()
+            .copied()
+            .min()
+            .expect("at least one resource")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn different_banks_no_contention() {
+        let mut b = BankedPorts::new(8);
+        let now = Cycle::ZERO;
+        // Lines 0..8 hash to distinct banks.
+        for n in 0..8 {
+            assert_eq!(b.acquire_for_line(LineAddr::new(n), now, 1), now);
+        }
+    }
+
+    #[test]
+    fn same_bank_serializes() {
+        let mut b = BankedPorts::new(8);
+        let now = Cycle::ZERO;
+        let l = LineAddr::new(3);
+        assert_eq!(b.acquire_for_line(l, now, 1), Cycle::new(0));
+        assert_eq!(b.acquire_for_line(l, now, 1), Cycle::new(1));
+        // Line 11 maps to the same bank (11 % 8 == 3).
+        assert_eq!(b.acquire_for_line(LineAddr::new(11), now, 1), Cycle::new(2));
+    }
+
+    #[test]
+    fn swap_takes_two_ports_for_two_cycles() {
+        let mut p = BankedPorts::new(2);
+        let now = Cycle::ZERO;
+        assert_eq!(p.acquire_many(2, now, 2), now);
+        // Both ports busy until cycle 2.
+        assert_eq!(p.acquire_any(now, 1), Cycle::new(2));
+    }
+
+    #[test]
+    fn acquire_many_waits_for_slowest_needed_port() {
+        let mut p = BankedPorts::new(3);
+        p.acquire_index(0, Cycle::ZERO, 10);
+        p.acquire_index(1, Cycle::ZERO, 4);
+        // Two free-est ports are 2 (free at 0) and 1 (free at 4).
+        assert_eq!(p.acquire_many(2, Cycle::ZERO, 1), Cycle::new(4));
+    }
+
+    #[test]
+    fn grant_never_before_now() {
+        let mut p = BankedPorts::new(1);
+        assert_eq!(p.acquire_any(Cycle::new(100), 1), Cycle::new(100));
+    }
+
+    #[test]
+    fn earliest_free_tracks_reservations() {
+        let mut p = BankedPorts::new(2);
+        assert_eq!(p.earliest_free(), Cycle::ZERO);
+        p.acquire_any(Cycle::ZERO, 5);
+        assert_eq!(p.earliest_free(), Cycle::ZERO); // second port untouched
+        p.acquire_any(Cycle::ZERO, 3);
+        assert_eq!(p.earliest_free(), Cycle::new(3));
+    }
+}

@@ -1,0 +1,457 @@
+//! An LRU set-associative cache with per-line metadata.
+
+use sim_core::LineAddr;
+
+use crate::{CacheGeometry, CacheStats};
+
+/// Which resident line a full set sacrifices on a fill.
+///
+/// The paper's caches use LRU; FIFO and Random are provided for
+/// substrate completeness (victim choice is itself a variable some of
+/// the cited work explores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Replacement {
+    /// Evict the least recently used line (default).
+    #[default]
+    Lru,
+    /// Evict the oldest-filled line, ignoring hits.
+    Fifo,
+    /// Evict a pseudo-random line (deterministic per eviction count,
+    /// so runs remain reproducible).
+    Random,
+}
+
+/// A line displaced by a [`SetAssocCache::fill`].
+///
+/// Carries the evicted line's address (reconstructed from its tag and
+/// set) and its metadata — for the paper's architectures the metadata
+/// is the *conflict bit* that travels with the line to the victim
+/// buffer or the Miss Classification Table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction<M> {
+    /// The address of the displaced line.
+    pub line: LineAddr,
+    /// The metadata stored with the displaced line.
+    pub meta: M,
+}
+
+#[derive(Debug, Clone)]
+struct Way<M> {
+    tag: u64,
+    last_use: u64,
+    filled_at: u64,
+    meta: M,
+}
+
+#[derive(Debug, Clone, Default)]
+struct CacheSet<M> {
+    ways: Vec<Way<M>>,
+}
+
+/// A set-associative, write-allocate cache with true-LRU replacement
+/// and per-line metadata of type `M`.
+///
+/// Timing lives elsewhere (the architecture models); this structure
+/// answers only *what is resident* and *what gets displaced*. Probes
+/// update LRU state, [`SetAssocCache::peek`] does not.
+///
+/// # Examples
+///
+/// ```
+/// use cache_model::{CacheGeometry, SetAssocCache};
+/// use sim_core::LineAddr;
+///
+/// // A tiny 2-set, 2-way cache to watch LRU happen.
+/// let geom = CacheGeometry::new(256, 2, 64)?;
+/// let mut c: SetAssocCache<u32> = SetAssocCache::new(geom);
+/// let line = |n| LineAddr::new(n);
+/// c.fill(line(0), 10);       // set 0
+/// c.fill(line(2), 20);       // set 0 (second way)
+/// c.probe(line(0));          // make line 0 most recent
+/// let ev = c.fill(line(4), 30).unwrap();
+/// assert_eq!(ev.line, line(2));  // LRU way displaced
+/// assert_eq!(ev.meta, 20);
+/// # Ok::<(), cache_model::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<M = ()> {
+    geom: CacheGeometry,
+    sets: Vec<CacheSet<M>>,
+    clock: u64,
+    stats: CacheStats,
+    replacement: Replacement,
+    evictions: u64,
+}
+
+impl<M> SetAssocCache<M> {
+    /// Creates an empty cache with the given geometry and LRU
+    /// replacement.
+    #[must_use]
+    pub fn new(geom: CacheGeometry) -> Self {
+        Self::with_replacement(geom, Replacement::Lru)
+    }
+
+    /// Creates an empty cache with an explicit replacement policy.
+    #[must_use]
+    pub fn with_replacement(geom: CacheGeometry, replacement: Replacement) -> Self {
+        let mut sets = Vec::with_capacity(geom.num_sets());
+        for _ in 0..geom.num_sets() {
+            sets.push(CacheSet {
+                ways: Vec::with_capacity(geom.associativity() as usize),
+            });
+        }
+        SetAssocCache {
+            geom,
+            sets,
+            clock: 0,
+            stats: CacheStats::default(),
+            replacement,
+            evictions: 0,
+        }
+    }
+
+    /// The replacement policy in use.
+    #[must_use]
+    pub const fn replacement(&self) -> Replacement {
+        self.replacement
+    }
+
+    /// Index of the way a fill would displace in a full `set`.
+    fn victim_way(&self, set_index: usize) -> usize {
+        let ways = &self.sets[set_index].ways;
+        match self.replacement {
+            Replacement::Lru => ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_use)
+                .map(|(i, _)| i)
+                .expect("full set has ways"),
+            Replacement::Fifo => ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.filled_at)
+                .map(|(i, _)| i)
+                .expect("full set has ways"),
+            Replacement::Random => {
+                // Deterministic per (eviction count, set): the same
+                // victim is reported by eviction_candidate and taken
+                // by the subsequent fill.
+                let mut rng = sim_core::rng::SplitMix64::new(
+                    self.evictions ^ (set_index as u64).rotate_left(32),
+                );
+                rng.next_below(ways.len() as u64) as usize
+            }
+        }
+    }
+
+    /// The cache's geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Access statistics recorded by [`Self::probe`].
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Looks a line up, updating recency and hit/miss statistics.
+    ///
+    /// Returns mutable access to the line's metadata on a hit so
+    /// callers can, for instance, flip the conflict bit in place.
+    pub fn probe(&mut self, line: LineAddr) -> Option<&mut M> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.geom.set_index(line);
+        let tag = self.geom.tag(line);
+        let way = self.sets[set].ways.iter_mut().find(|w| w.tag == tag);
+        match way {
+            Some(w) => {
+                self.stats.record_hit();
+                w.last_use = clock;
+                Some(&mut w.meta)
+            }
+            None => {
+                self.stats.record_miss();
+                None
+            }
+        }
+    }
+
+    /// Looks a line up without touching recency or statistics.
+    #[must_use]
+    pub fn peek(&self, line: LineAddr) -> Option<&M> {
+        let set = self.geom.set_index(line);
+        let tag = self.geom.tag(line);
+        self.sets[set]
+            .ways
+            .iter()
+            .find(|w| w.tag == tag)
+            .map(|w| &w.meta)
+    }
+
+    /// Returns `true` if the line is resident.
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.peek(line).is_some()
+    }
+
+    /// Inserts a line, displacing the LRU way of a full set.
+    ///
+    /// The new line becomes the most recently used in its set. Returns
+    /// the displaced line, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line is already resident —
+    /// architectures must not double-fill (it would duplicate a tag
+    /// within a set).
+    pub fn fill(&mut self, line: LineAddr, meta: M) -> Option<Eviction<M>> {
+        debug_assert!(!self.contains(line), "double fill of {line}");
+        self.clock += 1;
+        let clock = self.clock;
+        let set_index = self.geom.set_index(line);
+        let tag = self.geom.tag(line);
+        let assoc = self.geom.associativity() as usize;
+        if self.sets[set_index].ways.len() < assoc {
+            self.sets[set_index].ways.push(Way {
+                tag,
+                last_use: clock,
+                filled_at: clock,
+                meta,
+            });
+            return None;
+        }
+        // Displace the policy's victim.
+        let way = self.victim_way(set_index);
+        self.evictions += 1;
+        let victim = &mut self.sets[set_index].ways[way];
+        let evicted_tag = victim.tag;
+        let evicted_meta = std::mem::replace(&mut victim.meta, meta);
+        victim.tag = tag;
+        victim.last_use = clock;
+        victim.filled_at = clock;
+        Some(Eviction {
+            line: self.geom.line_from_parts(evicted_tag, set_index),
+            meta: evicted_meta,
+        })
+    }
+
+    /// Removes a line, returning its metadata if it was resident.
+    ///
+    /// Victim-cache swaps use this to pull a line out of the cache
+    /// without filling a replacement.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<M> {
+        let set = self.geom.set_index(line);
+        let tag = self.geom.tag(line);
+        let ways = &mut self.sets[set].ways;
+        let pos = ways.iter().position(|w| w.tag == tag)?;
+        Some(ways.swap_remove(pos).meta)
+    }
+
+    /// The line that would be displaced if a fill hit this set now.
+    ///
+    /// `None` if the set still has an empty way.
+    #[must_use]
+    pub fn eviction_candidate(&self, line: LineAddr) -> Option<LineAddr> {
+        let set_index = self.geom.set_index(line);
+        let set = &self.sets[set_index];
+        if set.ways.len() < self.geom.associativity() as usize {
+            return None;
+        }
+        let way = self.victim_way(set_index);
+        Some(self.geom.line_from_parts(set.ways[way].tag, set_index))
+    }
+
+    /// Number of resident lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.ways.len()).sum()
+    }
+
+    /// `true` if no lines are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over all resident lines and their metadata.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &M)> + '_ {
+        self.sets.iter().enumerate().flat_map(move |(set, s)| {
+            s.ways
+                .iter()
+                .map(move |w| (self.geom.line_from_parts(w.tag, set), &w.meta))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache<u32> {
+        // 4 sets, 2 ways.
+        SetAssocCache::new(CacheGeometry::new(512, 2, 64).unwrap())
+    }
+
+    fn dm() -> SetAssocCache<()> {
+        // 4 sets, direct-mapped.
+        SetAssocCache::new(CacheGeometry::new(256, 1, 64).unwrap())
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = dm();
+        let l = LineAddr::new(5);
+        assert!(c.probe(l).is_none());
+        assert!(c.fill(l, ()).is_none());
+        assert!(c.probe(l).is_some());
+        assert_eq!(c.stats().hits(), 1);
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = dm();
+        // Lines 1 and 5 share set 1 in a 4-set cache.
+        c.fill(LineAddr::new(1), ());
+        let ev = c.fill(LineAddr::new(5), ()).unwrap();
+        assert_eq!(ev.line, LineAddr::new(1));
+        assert!(c.contains(LineAddr::new(5)));
+        assert!(!c.contains(LineAddr::new(1)));
+    }
+
+    #[test]
+    fn lru_respects_probe_order() {
+        let mut c = tiny();
+        // Set 0 holds lines 0, 4, 8, ... (4 sets).
+        c.fill(LineAddr::new(0), 0);
+        c.fill(LineAddr::new(4), 4);
+        c.probe(LineAddr::new(0)); // 4 is now LRU
+        let ev = c.fill(LineAddr::new(8), 8).unwrap();
+        assert_eq!(ev.line, LineAddr::new(4));
+        assert_eq!(ev.meta, 4);
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru() {
+        let mut c = tiny();
+        c.fill(LineAddr::new(0), 0);
+        c.fill(LineAddr::new(4), 4);
+        let _ = c.peek(LineAddr::new(0)); // must NOT refresh line 0
+        let ev = c.fill(LineAddr::new(8), 8).unwrap();
+        assert_eq!(ev.line, LineAddr::new(0));
+    }
+
+    #[test]
+    fn fill_into_empty_way_evicts_nothing() {
+        let mut c = tiny();
+        assert!(c.fill(LineAddr::new(0), 1).is_none());
+        assert!(c.fill(LineAddr::new(4), 2).is_none());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.fill(LineAddr::new(3), 7);
+        assert_eq!(c.invalidate(LineAddr::new(3)), Some(7));
+        assert_eq!(c.invalidate(LineAddr::new(3)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_candidate_matches_fill() {
+        let mut c = tiny();
+        assert_eq!(c.eviction_candidate(LineAddr::new(0)), None);
+        c.fill(LineAddr::new(0), 0);
+        assert_eq!(c.eviction_candidate(LineAddr::new(4)), None);
+        c.fill(LineAddr::new(4), 4);
+        let predicted = c.eviction_candidate(LineAddr::new(8)).unwrap();
+        let actual = c.fill(LineAddr::new(8), 8).unwrap().line;
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn metadata_is_mutable_on_hit() {
+        let mut c = tiny();
+        c.fill(LineAddr::new(0), 1);
+        if let Some(m) = c.probe(LineAddr::new(0)) {
+            *m = 99;
+        }
+        assert_eq!(c.peek(LineAddr::new(0)), Some(&99));
+    }
+
+    #[test]
+    fn iter_reports_all_resident_lines() {
+        let mut c = tiny();
+        for n in [0u64, 1, 2, 3, 4] {
+            c.fill(LineAddr::new(n), n as u32);
+        }
+        let mut lines: Vec<u64> = c.iter().map(|(l, _)| l.raw()).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fifo_ignores_probes() {
+        let geom = CacheGeometry::new(512, 2, 64).unwrap();
+        let mut c: SetAssocCache<u32> = SetAssocCache::with_replacement(geom, Replacement::Fifo);
+        c.fill(LineAddr::new(0), 0);
+        c.fill(LineAddr::new(4), 4);
+        c.probe(LineAddr::new(0)); // FIFO must NOT refresh line 0
+        let ev = c.fill(LineAddr::new(8), 8).unwrap();
+        assert_eq!(ev.line, LineAddr::new(0));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_consistent_with_candidate() {
+        let geom = CacheGeometry::new(512, 2, 64).unwrap();
+        let run = || {
+            let mut c: SetAssocCache<()> =
+                SetAssocCache::with_replacement(geom, Replacement::Random);
+            let mut evicted = Vec::new();
+            for n in 0..50u64 {
+                let line = LineAddr::new(n);
+                if !c.contains(line) {
+                    let predicted = c.eviction_candidate(line);
+                    let actual = c.fill(line, ()).map(|e| e.line);
+                    assert_eq!(predicted, actual, "candidate must match fill victim");
+                    if let Some(l) = actual {
+                        evicted.push(l);
+                    }
+                }
+            }
+            evicted
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn random_spreads_victims_across_ways() {
+        let geom = CacheGeometry::new(512, 4, 64).unwrap(); // 2 sets, 4 ways
+        let mut c: SetAssocCache<u64> = SetAssocCache::with_replacement(geom, Replacement::Random);
+        // Fill set 0, then keep inserting fresh lines and record which
+        // resident line dies each time.
+        let mut victims = std::collections::HashSet::new();
+        for n in 0..200u64 {
+            let line = LineAddr::new(n * 2); // even lines -> set 0
+            if let Some(ev) = c.fill(line, n) {
+                victims.insert(ev.line.raw() % 8);
+            }
+        }
+        // All four ways should get victimised at some point.
+        assert!(victims.len() >= 3, "victims {victims:?}");
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = tiny();
+        for n in 0..100 {
+            c.fill(LineAddr::new(n), n as u32);
+        }
+        assert!(c.len() <= c.geometry().num_lines());
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests for the MSHR file and port arbiters.
+
+use cache_model::{BankedPorts, MshrFile, MshrOutcome};
+use proptest::prelude::*;
+use sim_core::{Cycle, LineAddr};
+
+proptest! {
+    /// The MSHR file never tracks more entries than its capacity, and
+    /// coalesced requests always return the original completion time.
+    #[test]
+    fn mshr_capacity_and_coalescing(
+        ops in prop::collection::vec((0u64..16, 0u64..50, 1u64..200), 1..200)
+    ) {
+        let mut mshrs = MshrFile::new(4);
+        let mut now = Cycle::ZERO;
+        let mut inflight: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::new();
+        for (line, advance, latency) in ops {
+            now = now + advance;
+            inflight.retain(|_, ready| *ready > now.raw());
+            let outcome = mshrs.request(LineAddr::new(line), now, now + latency);
+            prop_assert!(mshrs.outstanding(now) <= 4);
+            match outcome {
+                MshrOutcome::Allocated(ready) => {
+                    prop_assert_eq!(ready, now + latency);
+                    inflight.insert(line, ready.raw());
+                }
+                MshrOutcome::Coalesced(ready) => {
+                    prop_assert_eq!(Some(&ready.raw()), inflight.get(&line));
+                }
+                MshrOutcome::Full { retry_at } => {
+                    prop_assert!(retry_at > now, "retry must be in the future");
+                    prop_assert_eq!(inflight.len(), 4);
+                }
+            }
+        }
+    }
+
+    /// Port grants never precede the request and each resource is
+    /// never double-booked: at most `resources` grants can coexist in
+    /// any busy window.
+    #[test]
+    fn ports_never_overcommit(
+        requests in prop::collection::vec(0u64..20, 1..200)
+    ) {
+        let mut ports = BankedPorts::new(3);
+        let mut now = Cycle::ZERO;
+        let mut grants = Vec::new();
+        for advance in requests {
+            now = now + advance;
+            let grant = ports.acquire_any(now, 2);
+            prop_assert!(grant >= now);
+            grants.push(grant.raw());
+        }
+        grants.sort_unstable();
+        for w in grants.windows(4) {
+            prop_assert!(
+                w[3] >= w[0] + 2,
+                "4 grants within one 2-cycle occupancy: {w:?}"
+            );
+        }
+    }
+}

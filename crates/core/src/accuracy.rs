@@ -1,0 +1,252 @@
+//! Scoring the MCT against the classic three-C oracle
+//! (paper Figures 1 and 2).
+//!
+//! For every miss of the real (set-associative) cache, the oracle says
+//! whether it was a conflict miss in the classic sense (a
+//! fully-associative LRU cache of equal capacity would have hit) or a
+//! non-conflict miss (capacity/compulsory). The MCT's on-the-fly label
+//! is compared against that ground truth:
+//!
+//! * **conflict accuracy** — fraction of oracle-conflict misses the
+//!   MCT also labels conflict;
+//! * **capacity accuracy** — fraction of oracle-non-conflict misses
+//!   the MCT labels capacity.
+//!
+//! # Examples
+//!
+//! ```
+//! use cache_model::CacheGeometry;
+//! use mct::accuracy::AccuracyEvaluator;
+//! use mct::TagBits;
+//! use sim_core::LineAddr;
+//!
+//! let geom = CacheGeometry::new(1024, 1, 64)?; // 16 sets DM
+//! let mut eval = AccuracyEvaluator::new(geom, TagBits::Full);
+//! // Two lines fighting over one set: classic conflict behaviour.
+//! for _ in 0..100 {
+//!     eval.observe(LineAddr::new(0));
+//!     eval.observe(LineAddr::new(16));
+//! }
+//! let report = eval.finish();
+//! assert!(report.conflict.value() > 0.9);
+//! # Ok::<(), cache_model::ConfigError>(())
+//! ```
+
+use cache_model::oracle::ThreeCClassifier;
+use cache_model::CacheGeometry;
+use sim_core::stats::Ratio;
+use sim_core::LineAddr;
+
+use crate::{ClassifyingCache, EvictionClassifier, MissClass, MissClassificationTable, TagBits};
+
+/// Accuracy of the MCT over one reference stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AccuracyReport {
+    /// Oracle-conflict misses the MCT labelled conflict.
+    pub conflict: Ratio,
+    /// Oracle-non-conflict (capacity + compulsory) misses the MCT
+    /// labelled capacity.
+    pub capacity: Ratio,
+    /// Total references observed.
+    pub accesses: u64,
+    /// Total real-cache misses observed.
+    pub misses: u64,
+}
+
+impl AccuracyReport {
+    /// Fraction of all misses classified in agreement with the oracle.
+    #[must_use]
+    pub fn overall(&self) -> f64 {
+        let agree = self.conflict.numerator() + self.capacity.numerator();
+        let total = self.conflict.denominator() + self.capacity.denominator();
+        if total == 0 {
+            0.0
+        } else {
+            agree as f64 / total as f64
+        }
+    }
+
+    /// Merges another report's tallies into this one (suite
+    /// averaging).
+    pub fn merge(&mut self, other: &AccuracyReport) {
+        self.conflict.merge(other.conflict);
+        self.capacity.merge(other.capacity);
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+    }
+}
+
+/// Runs a [`ClassifyingCache`] and a [`ThreeCClassifier`] side by side
+/// over one reference stream.
+#[derive(Debug, Clone)]
+pub struct AccuracyEvaluator<T = MissClassificationTable> {
+    cache: ClassifyingCache<T>,
+    oracle: ThreeCClassifier,
+    report: AccuracyReport,
+}
+
+impl AccuracyEvaluator {
+    /// Creates an evaluator for the given cache shape and MCT tag
+    /// width. The oracle's shadow cache gets the same line capacity.
+    #[must_use]
+    pub fn new(geom: CacheGeometry, tag_bits: TagBits) -> Self {
+        Self::with_classifier(
+            geom,
+            MissClassificationTable::new(geom.num_sets(), tag_bits),
+        )
+    }
+}
+
+impl<T: EvictionClassifier> AccuracyEvaluator<T> {
+    /// Creates an evaluator around any eviction classifier (the
+    /// shadow-directory depth ablation uses this).
+    #[must_use]
+    pub fn with_classifier(geom: CacheGeometry, table: T) -> Self {
+        let oracle = ThreeCClassifier::new(geom.num_lines());
+        AccuracyEvaluator {
+            cache: ClassifyingCache::with_classifier(geom, table),
+            oracle,
+            report: AccuracyReport::default(),
+        }
+    }
+
+    /// Observes one reference (the oracle must see hits too).
+    pub fn observe(&mut self, line: LineAddr) {
+        self.report.accesses += 1;
+        let oracle_class = self.oracle.observe(line);
+        let outcome = self.cache.access(line);
+        let Some(miss) = outcome.miss() else { return };
+        self.report.misses += 1;
+        if oracle_class.is_conflict() {
+            self.report
+                .conflict
+                .record(miss.class == MissClass::Conflict);
+        } else {
+            self.report
+                .capacity
+                .record(miss.class == MissClass::Capacity);
+        }
+    }
+
+    /// Observes a whole stream.
+    pub fn observe_all<I>(&mut self, lines: I)
+    where
+        I: IntoIterator<Item = LineAddr>,
+    {
+        for line in lines {
+            self.observe(line);
+        }
+    }
+
+    /// Returns the accumulated report.
+    #[must_use]
+    pub fn finish(self) -> AccuracyReport {
+        self.report
+    }
+
+    /// The report so far, without consuming the evaluator.
+    #[must_use]
+    pub fn report(&self) -> &AccuracyReport {
+        &self.report
+    }
+
+    /// The underlying classifying cache (for hit-rate inspection).
+    #[must_use]
+    pub fn cache(&self) -> &ClassifyingCache<T> {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    fn dm(sets: u64) -> CacheGeometry {
+        CacheGeometry::new(sets * 64, 1, 64).unwrap()
+    }
+
+    #[test]
+    fn pure_conflict_stream_scores_high_conflict_accuracy() {
+        // 16-set DM cache; lines 0 and 16 collide but the total
+        // working set (2 lines) is far below capacity (16 lines):
+        // every non-compulsory miss is an oracle conflict miss.
+        let mut eval = AccuracyEvaluator::new(dm(16), TagBits::Full);
+        for _ in 0..1000 {
+            eval.observe(line(0));
+            eval.observe(line(16));
+        }
+        let r = eval.finish();
+        assert!(r.conflict.denominator() > 1500);
+        assert!(
+            r.conflict.value() > 0.99,
+            "conflict accuracy {}",
+            r.conflict.value()
+        );
+    }
+
+    #[test]
+    fn pure_capacity_stream_scores_high_capacity_accuracy() {
+        // Cyclic sweep over 64 lines through a 16-line cache: every
+        // miss (after warmup) is a capacity miss for both models.
+        let mut eval = AccuracyEvaluator::new(dm(16), TagBits::Full);
+        for _ in 0..50 {
+            for n in 0..64 {
+                eval.observe(line(n));
+            }
+        }
+        let r = eval.finish();
+        assert!(r.capacity.denominator() > 1000);
+        assert!(
+            r.capacity.value() > 0.95,
+            "capacity accuracy {}",
+            r.capacity.value()
+        );
+        // No oracle conflict misses should exist at all in a pure
+        // cyclic sweep of a direct-mapped cache (FA LRU misses too).
+        assert!(r.conflict.denominator() < r.misses / 10);
+    }
+
+    #[test]
+    fn hits_do_not_enter_the_report() {
+        let mut eval = AccuracyEvaluator::new(dm(4), TagBits::Full);
+        eval.observe(line(0));
+        for _ in 0..99 {
+            eval.observe(line(0));
+        }
+        let r = eval.finish();
+        assert_eq!(r.accesses, 100);
+        assert_eq!(r.misses, 1);
+        assert_eq!(r.conflict.denominator() + r.capacity.denominator(), 1);
+    }
+
+    #[test]
+    fn overall_combines_both_classes() {
+        let r = AccuracyReport {
+            conflict: Ratio::from_counts(8, 10),
+            capacity: Ratio::from_counts(9, 10),
+            ..AccuracyReport::default()
+        };
+        assert!((r.overall() - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = AccuracyReport {
+            conflict: Ratio::from_counts(1, 2),
+            capacity: Ratio::from_counts(3, 4),
+            accesses: 10,
+            misses: 6,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.conflict.denominator(), 4);
+        assert_eq!(a.capacity.denominator(), 8);
+        assert_eq!(a.accesses, 20);
+        assert_eq!(a.misses, 12);
+    }
+}

@@ -1,0 +1,43 @@
+//! The classification interface shared by the MCT and its variants.
+
+use crate::MissClass;
+
+/// Anything that classifies misses from the set's eviction history.
+///
+/// Implemented by [`MissClassificationTable`](crate::MissClassificationTable)
+/// (the paper's one-tag-per-set structure) and
+/// [`ShadowDirectory`](crate::ShadowDirectory) (the multi-tag
+/// extension). [`ClassifyingCache`](crate::ClassifyingCache) is
+/// generic over this trait, so every architecture can swap the
+/// classifier without code changes.
+///
+/// The protocol, per miss to set `set` with tag `tag`:
+///
+/// 1. [`classify`](Self::classify) **before** any update;
+/// 2. [`record_eviction`](Self::record_eviction) with the displaced
+///    line's tag once the fill chooses a victim.
+pub trait EvictionClassifier {
+    /// Classifies a miss against the set's remembered evictions.
+    fn classify(&self, set: usize, tag: u64) -> MissClass;
+
+    /// Records that a line with `tag` was evicted from `set`.
+    fn record_eviction(&mut self, set: usize, tag: u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MissClassificationTable, ShadowDirectory, TagBits};
+
+    fn exercise(c: &mut dyn EvictionClassifier) {
+        c.record_eviction(0, 7);
+        assert_eq!(c.classify(0, 7), MissClass::Conflict);
+        assert_eq!(c.classify(0, 8), MissClass::Capacity);
+    }
+
+    #[test]
+    fn trait_objects_work_for_both_implementations() {
+        exercise(&mut MissClassificationTable::new(4, TagBits::Full));
+        exercise(&mut ShadowDirectory::new(4, TagBits::Full, 3));
+    }
+}

@@ -1,0 +1,65 @@
+//! The **Miss Classification Table** (MCT) — the primary contribution
+//! of Collins & Tullsen, *Hardware Identification of Cache Conflict
+//! Misses*, MICRO-32 (1999).
+//!
+//! The MCT stores, for each cache set, all or part of the tag of the
+//! line most recently evicted from that set. When the next miss to the
+//! set carries a matching tag, the miss is identified as a **conflict
+//! miss** — it would have hit in a slightly more associative cache.
+//! Any other miss is a **capacity miss** (compulsory misses are
+//! grouped with capacity). The structure is tiny (8–10 bits per set
+//! suffice) and is consulted only on cache misses, off the critical
+//! path.
+//!
+//! This crate provides:
+//!
+//! * [`MissClassificationTable`] — the raw table, with full or partial
+//!   tags ([`TagBits`]);
+//! * [`MissClass`] — the two-way classification;
+//! * [`ConflictFilter`] — the paper's four eviction-time filters
+//!   (*in-*, *out-*, *and-*, *or-conflict*), built from the incoming
+//!   miss's class and the evicted line's *conflict bit*;
+//! * [`ClassifyingCache`] — a set-associative cache with an attached
+//!   MCT and per-line conflict bits, the building block every
+//!   cache-assist architecture in the paper starts from;
+//! * [`accuracy`] — evaluation of the MCT against the classic three-C
+//!   oracle (Figures 1 and 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use cache_model::CacheGeometry;
+//! use mct::{ClassifyingCache, MissClass, TagBits};
+//! use sim_core::Addr;
+//!
+//! // The paper's 16 KB direct-mapped L1.
+//! let geom = CacheGeometry::new(16 * 1024, 1, 64)?;
+//! let mut cache = ClassifyingCache::new(geom, TagBits::Full);
+//!
+//! let a = Addr::new(0x0_0000).line(64);
+//! let b = Addr::new(0x4_0000).line(64); // same set as `a`
+//!
+//! cache.access(a);                       // compulsory: capacity class
+//! cache.access(b);                       // evicts a, remembers its tag
+//! let outcome = cache.access(a);         // the paper's scenario:
+//! assert_eq!(outcome.miss().unwrap().class, MissClass::Conflict);
+//! # Ok::<(), cache_model::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+mod biased;
+mod classified;
+mod classifier;
+mod filter;
+mod shadow;
+mod table;
+
+pub use biased::BiasedCache;
+pub use classified::{AccessOutcome, ClassifyingCache, EvictedLine, MissDetail};
+pub use classifier::EvictionClassifier;
+pub use filter::{ConflictFilter, MissClass};
+pub use shadow::ShadowDirectory;
+pub use table::{MissClassificationTable, TagBits};

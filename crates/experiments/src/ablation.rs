@@ -1,0 +1,267 @@
+//! Ablations for the design choices DESIGN.md calls out, beyond the
+//! paper's own figures:
+//!
+//! * **shadow-directory depth** — the paper's unevaluated "multiple
+//!   evicted tags per set" option (§3): how much conflict-accuracy do
+//!   deeper directories buy, per cache configuration?
+//! * **CPU window** — the instruction-window choice (32) that sets the
+//!   baseline's latency-hiding ability and hence every speedup in
+//!   Figures 3–6;
+//! * **buffer size** — the AMB's entry count around the paper's 8/16
+//!   points.
+
+use amb::{AmbConfig, AmbPolicy, AmbSystem};
+use cpu_model::{BaselineSystem, CpuConfig, OooModel};
+use mct::accuracy::{AccuracyEvaluator, AccuracyReport};
+use mct::{ShadowDirectory, TagBits};
+use sim_core::stats::GeoMean;
+use workloads::{full_suite, suite};
+
+use crate::table::{pct, speedup};
+use crate::{fig1, Table, SEED};
+
+/// Accuracy per (configuration, depth).
+#[derive(Debug, Clone)]
+pub struct DepthPoint {
+    /// Cache configuration name.
+    pub config: String,
+    /// Shadow-directory depth (1 = the paper's MCT).
+    pub depth: usize,
+    /// Suite-wide accuracy.
+    pub report: AccuracyReport,
+}
+
+/// Speedup per CPU window size.
+#[derive(Debug, Clone)]
+pub struct WindowPoint {
+    /// Instruction-window size.
+    pub window: u64,
+    /// Suite-average baseline IPC.
+    pub baseline_ipc: f64,
+    /// Geomean VictPref speedup over the baseline at this window.
+    pub victpref_speedup: f64,
+}
+
+/// Speedup per AMB buffer size.
+#[derive(Debug, Clone)]
+pub struct BufferPoint {
+    /// Buffer entries.
+    pub entries: usize,
+    /// Geomean VicPreExc speedup over the no-buffer baseline.
+    pub speedup: f64,
+}
+
+/// The three ablations.
+#[derive(Debug, Clone)]
+pub struct Ablation {
+    /// Shadow-directory depth sweep.
+    pub depths: Vec<DepthPoint>,
+    /// CPU window sweep.
+    pub windows: Vec<WindowPoint>,
+    /// Buffer-size sweep.
+    pub buffers: Vec<BufferPoint>,
+    /// Events per workload.
+    pub events: usize,
+}
+
+/// The swept shadow-directory depths.
+pub const DEPTHS: [usize; 4] = [1, 2, 4, 8];
+/// The swept CPU windows.
+pub const WINDOWS: [u64; 5] = [8, 16, 32, 64, 128];
+/// The swept buffer sizes.
+pub const BUFFERS: [usize; 5] = [2, 4, 8, 16, 32];
+
+fn depth_sweep(events: usize) -> Vec<DepthPoint> {
+    let mut cells = Vec::new();
+    for (name, geom) in fig1::configurations() {
+        for depth in DEPTHS {
+            cells.push((name.clone(), geom, depth));
+        }
+    }
+    crate::par_map(cells, |(config, geom, depth)| {
+        let mut total = AccuracyReport::default();
+        for w in full_suite() {
+            let dir = ShadowDirectory::new(geom.num_sets(), TagBits::Full, depth);
+            let mut eval = AccuracyEvaluator::with_classifier(geom, dir);
+            let mut src = w.source(SEED);
+            for _ in 0..events {
+                eval.observe(src.next_event().access.addr.line(geom.line_size()));
+            }
+            total.merge(eval.report());
+        }
+        DepthPoint {
+            config,
+            depth,
+            report: total,
+        }
+    })
+}
+
+fn window_sweep(events: usize) -> Vec<WindowPoint> {
+    let benchmarks = suite();
+    crate::par_map(WINDOWS.to_vec(), |window| {
+        let cpu = OooModel::new(CpuConfig {
+            window,
+            ..CpuConfig::paper_default()
+        });
+        let mut ipc_sum = 0.0;
+        let mut mean = GeoMean::default();
+        for w in &benchmarks {
+            let run = |sys: &mut dyn cpu_model::MemorySystem| {
+                let mut src = w.source(SEED);
+                let trace = std::iter::from_fn(move || Some(src.next_event())).take(events);
+                cpu.run(&mut &mut *sys, trace)
+            };
+            let mut base = BaselineSystem::paper_default().expect("paper config");
+            let base_report = run(&mut base);
+            ipc_sum += base_report.ipc();
+            let mut amb = AmbSystem::paper_default(AmbConfig::new(AmbPolicy::VictPref))
+                .expect("paper config");
+            let amb_report = run(&mut amb);
+            mean.push(amb_report.speedup_over(&base_report));
+        }
+        WindowPoint {
+            window,
+            baseline_ipc: ipc_sum / benchmarks.len() as f64,
+            victpref_speedup: mean.mean(),
+        }
+    })
+}
+
+fn buffer_sweep(events: usize) -> Vec<BufferPoint> {
+    let benchmarks = suite();
+    let cpu = OooModel::new(CpuConfig::paper_default());
+    let baselines: Vec<_> = benchmarks
+        .iter()
+        .map(|w| {
+            let mut base = BaselineSystem::paper_default().expect("paper config");
+            crate::drive(&mut base, w, events)
+        })
+        .collect();
+    crate::par_map(BUFFERS.to_vec(), |entries| {
+        let mut mean = GeoMean::default();
+        for (w, base) in benchmarks.iter().zip(&baselines) {
+            let cfg = AmbConfig {
+                entries,
+                ..AmbConfig::new(AmbPolicy::VicPreExc)
+            };
+            let mut sys = AmbSystem::paper_default(cfg).expect("paper config");
+            let mut src = w.source(SEED);
+            let trace = std::iter::from_fn(move || Some(src.next_event())).take(events);
+            let report = cpu.run(&mut sys, trace);
+            mean.push(report.speedup_over(base));
+        }
+        BufferPoint {
+            entries,
+            speedup: mean.mean(),
+        }
+    })
+}
+
+/// Runs all three ablations.
+#[must_use]
+pub fn run(events: usize) -> Ablation {
+    Ablation {
+        depths: depth_sweep(events),
+        windows: window_sweep(events),
+        buffers: buffer_sweep(events),
+        events,
+    }
+}
+
+impl std::fmt::Display for Ablation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Ablation A: shadow-directory depth (multiple evicted tags per set, paper §3) ({} events/workload)\n",
+            self.events
+        )?;
+        let mut t = Table::new(vec![
+            "config".into(),
+            "depth".into(),
+            "conflict acc%".into(),
+            "capacity acc%".into(),
+        ]);
+        for p in &self.depths {
+            t.row(vec![
+                p.config.clone(),
+                p.depth.to_string(),
+                pct(p.report.conflict.value()),
+                pct(p.report.capacity.value()),
+            ]);
+        }
+        write!(f, "{t}")?;
+
+        writeln!(
+            f,
+            "\nAblation B: CPU instruction window (DESIGN.md choice: 32)\n"
+        )?;
+        let mut t = Table::new(vec![
+            "window".into(),
+            "baseline IPC".into(),
+            "VictPref speedup".into(),
+        ]);
+        for p in &self.windows {
+            t.row(vec![
+                p.window.to_string(),
+                format!("{:.3}", p.baseline_ipc),
+                speedup(p.victpref_speedup),
+            ]);
+        }
+        write!(f, "{t}")?;
+
+        writeln!(f, "\nAblation C: AMB buffer size (VicPreExc)\n")?;
+        let mut t = Table::new(vec!["entries".into(), "speedup".into()]);
+        for p in &self.buffers {
+            t.row(vec![p.entries.to_string(), speedup(p.speedup)]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deeper_directories_only_help_conflict_accuracy() {
+        let points = depth_sweep(4_000);
+        // Within each configuration, conflict accuracy is
+        // non-decreasing in depth (a superset of tags can only match
+        // more).
+        for config in points
+            .iter()
+            .map(|p| p.config.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+        {
+            let series: Vec<&DepthPoint> = points.iter().filter(|p| p.config == config).collect();
+            for pair in series.windows(2) {
+                assert!(
+                    pair[1].report.conflict.value() >= pair[0].report.conflict.value() - 0.01,
+                    "{config}: depth {} -> {} dropped conflict accuracy",
+                    pair[0].depth,
+                    pair[1].depth
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_windows_hide_less_latency() {
+        let points = window_sweep(5_000);
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        assert!(
+            last.baseline_ipc > first.baseline_ipc,
+            "IPC must grow with window"
+        );
+    }
+
+    #[test]
+    fn display_renders() {
+        let a = run(2_000);
+        let s = a.to_string();
+        assert!(s.contains("Ablation A"));
+        assert!(s.contains("Ablation C"));
+    }
+}

@@ -1,0 +1,81 @@
+//! The reproduction harness: regenerates every table and figure of
+//! the paper's evaluation.
+//!
+//! ```text
+//! repro [--events N] [fig1|fig2|fig3|tab1|fig4|fig5|sec54|sec56|fig6|fig7|ablation|all]
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [--events N] [fig1|fig2|fig3|tab1|fig4|fig5|sec54|sec56|fig6|fig7|ablation|all]\n\
+         \n\
+         fig1   MCT classification accuracy (4 cache configs)\n\
+         fig2   accuracy vs saved tag bits\n\
+         fig3   victim-cache policies (includes Table 1)\n\
+         tab1   alias for fig3\n\
+         fig4   next-line prefetch filters (slow bus)\n\
+         fig5   cache-exclusion policies\n\
+         sec54  pseudo-associative cache comparison\n\
+         sec56  co-scheduling on a shared cache (SMT)\n\
+         fig6   adaptive miss buffer (includes Figure 7)\n\
+         fig7   alias for fig6\n\
+         ablation  shadow-directory depth / CPU window / buffer size sweeps\n\
+         all    everything (default)"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut events = experiments::DEFAULT_EVENTS;
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--events" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--events needs a positive integer");
+                    return usage();
+                };
+                events = n;
+            }
+            "--help" | "-h" => return usage(),
+            other => targets.push(other.to_owned()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_owned());
+    }
+
+    for target in &targets {
+        match target.as_str() {
+            "fig1" => println!("{}\n", experiments::fig1::run(events)),
+            "fig2" => println!("{}\n", experiments::fig2::run(events)),
+            "fig3" | "tab1" => println!("{}\n", experiments::fig3::run(events)),
+            "fig4" => println!("{}\n", experiments::fig4::run(events)),
+            "fig5" => println!("{}\n", experiments::fig5::run(events)),
+            "sec54" => println!("{}\n", experiments::sec54::run(events)),
+            "sec56" => println!("{}\n", experiments::sec56::run(events)),
+            "fig6" | "fig7" => println!("{}\n", experiments::fig6::run(events)),
+            "ablation" => println!("{}\n", experiments::ablation::run(events)),
+            "all" => {
+                println!("{}\n", experiments::fig1::run(events));
+                println!("{}\n", experiments::fig2::run(events));
+                println!("{}\n", experiments::fig3::run(events));
+                println!("{}\n", experiments::fig4::run(events));
+                println!("{}\n", experiments::fig5::run(events));
+                println!("{}\n", experiments::sec54::run(events));
+                println!("{}\n", experiments::sec56::run(events));
+                println!("{}\n", experiments::fig6::run(events));
+                println!("{}\n", experiments::ablation::run(events));
+            }
+            _ => {
+                eprintln!("unknown target: {target}");
+                return usage();
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

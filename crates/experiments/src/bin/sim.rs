@@ -1,0 +1,367 @@
+//! General-purpose simulator front-end: run any workload through any
+//! cache-assist architecture and print the full report.
+//!
+//! ```text
+//! sim --workload gcc --arch amb:victpref [--events N] [--seed S]
+//!     [--l1-size KB] [--l1-assoc W] [--entries E] [--window I]
+//! sim --list-archs
+//! ```
+//!
+//! Architectures:
+//!   baseline, two-way,
+//!   victim:{traditional|swaps|fills|both},
+//!   prefetch:{none|in|out|and|or}, rpt, rpt:filtered,
+//!   exclusion:{mat|conflict|conflict-history|capacity|capacity-history},
+//!   pseudo:{lru|mct}, remap:{all|conflict},
+//!   amb:{vict|pref|excl|victpref|prefexcl|victexcl|vicpreexc}
+
+use std::env;
+use std::process::ExitCode;
+
+use amb::{AmbConfig, AmbPolicy, AmbSystem};
+use cache_model::{CacheGeometry, L2MemoryConfig};
+use conflict_remap::{CountPolicy, RemapConfig, RemapSystem};
+use cpu_model::{BaselineSystem, CpuConfig, MemTimings, MemorySystem, OooModel, Plumbing};
+use exclusion::{ExclusionConfig, ExclusionPolicy, ExclusionSystem};
+use mct::ConflictFilter;
+use prefetcher::{NextLineSystem, PrefetchConfig, RptConfig, RptSystem};
+use pseudo_assoc::{PseudoAssocSystem, PseudoConfig, PseudoPolicy};
+use victim_cache::{VictimConfig, VictimPolicy, VictimSystem};
+
+struct Options {
+    workload: String,
+    arch: String,
+    events: usize,
+    seed: u64,
+    l1_kb: u64,
+    l1_assoc: u32,
+    entries: Option<usize>,
+    window: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            workload: "gcc".to_owned(),
+            arch: "baseline".to_owned(),
+            events: 300_000,
+            seed: 1,
+            l1_kb: 16,
+            l1_assoc: 1,
+            entries: None,
+            window: CpuConfig::paper_default().window,
+        }
+    }
+}
+
+const ARCHS: &[&str] = &[
+    "baseline",
+    "two-way",
+    "victim:traditional",
+    "victim:swaps",
+    "victim:fills",
+    "victim:both",
+    "prefetch:none",
+    "prefetch:in",
+    "prefetch:out",
+    "prefetch:and",
+    "prefetch:or",
+    "rpt",
+    "rpt:filtered",
+    "exclusion:mat",
+    "exclusion:conflict",
+    "exclusion:conflict-history",
+    "exclusion:capacity",
+    "exclusion:capacity-history",
+    "pseudo:lru",
+    "pseudo:mct",
+    "remap:all",
+    "remap:conflict",
+    "amb:vict",
+    "amb:pref",
+    "amb:excl",
+    "amb:victpref",
+    "amb:prefexcl",
+    "amb:victexcl",
+    "amb:vicpreexc",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sim --workload <name> --arch <arch> [--events N] [--seed S]\n\
+         \x20          [--l1-size KB] [--l1-assoc W] [--entries E] [--window I]\n\
+         \x20      sim --list-archs\n\
+         \x20      sim --list-workloads"
+    );
+    ExitCode::FAILURE
+}
+
+fn build_system(opts: &Options) -> Result<Box<dyn MemorySystem>, String> {
+    let geom =
+        CacheGeometry::new(opts.l1_kb * 1024, opts.l1_assoc, 64).map_err(|e| e.to_string())?;
+    let plumbing = || {
+        Plumbing::new(
+            MemTimings::paper_default(),
+            L2MemoryConfig::paper_default().expect("paper config"),
+        )
+    };
+    let victim_cfg = |policy| {
+        let mut cfg = VictimConfig::new(policy);
+        if let Some(e) = opts.entries {
+            cfg.entries = e;
+        }
+        cfg
+    };
+    let amb_cfg = |policy| {
+        let mut cfg = AmbConfig::new(policy);
+        if let Some(e) = opts.entries {
+            cfg.entries = e;
+        }
+        cfg
+    };
+    let prefetch_cfg = |filter: Option<ConflictFilter>| {
+        let mut cfg = match filter {
+            None => PrefetchConfig::unfiltered(),
+            Some(f) => PrefetchConfig::filtered(f),
+        };
+        if let Some(e) = opts.entries {
+            cfg.entries = e;
+        }
+        cfg
+    };
+    let excl_cfg = |policy| {
+        let mut cfg = ExclusionConfig::new(policy);
+        if let Some(e) = opts.entries {
+            cfg.entries = e;
+        }
+        cfg
+    };
+
+    Ok(match opts.arch.as_str() {
+        "baseline" => Box::new(BaselineSystem::new(geom, plumbing())),
+        "two-way" => {
+            let geom = CacheGeometry::new(opts.l1_kb * 1024, 2, 64).map_err(|e| e.to_string())?;
+            Box::new(BaselineSystem::new(geom, plumbing()))
+        }
+        "victim:traditional" => Box::new(VictimSystem::new(
+            victim_cfg(VictimPolicy::Traditional),
+            geom,
+            plumbing(),
+        )),
+        "victim:swaps" => Box::new(VictimSystem::new(
+            victim_cfg(VictimPolicy::FilterSwaps),
+            geom,
+            plumbing(),
+        )),
+        "victim:fills" => Box::new(VictimSystem::new(
+            victim_cfg(VictimPolicy::FilterFills),
+            geom,
+            plumbing(),
+        )),
+        "victim:both" => Box::new(VictimSystem::new(
+            victim_cfg(VictimPolicy::FilterBoth),
+            geom,
+            plumbing(),
+        )),
+        "prefetch:none" => Box::new(NextLineSystem::new(prefetch_cfg(None), geom, plumbing())),
+        "prefetch:in" => Box::new(NextLineSystem::new(
+            prefetch_cfg(Some(ConflictFilter::InConflict)),
+            geom,
+            plumbing(),
+        )),
+        "prefetch:out" => Box::new(NextLineSystem::new(
+            prefetch_cfg(Some(ConflictFilter::OutConflict)),
+            geom,
+            plumbing(),
+        )),
+        "prefetch:and" => Box::new(NextLineSystem::new(
+            prefetch_cfg(Some(ConflictFilter::AndConflict)),
+            geom,
+            plumbing(),
+        )),
+        "prefetch:or" => Box::new(NextLineSystem::new(
+            prefetch_cfg(Some(ConflictFilter::OrConflict)),
+            geom,
+            plumbing(),
+        )),
+        "rpt" => Box::new(RptSystem::new(
+            RptConfig::default_config(),
+            geom,
+            plumbing(),
+        )),
+        "rpt:filtered" => Box::new(RptSystem::new(RptConfig::filtered(), geom, plumbing())),
+        "exclusion:mat" => Box::new(ExclusionSystem::new(
+            excl_cfg(ExclusionPolicy::Mat),
+            geom,
+            plumbing(),
+        )),
+        "exclusion:conflict" => Box::new(ExclusionSystem::new(
+            excl_cfg(ExclusionPolicy::Conflict),
+            geom,
+            plumbing(),
+        )),
+        "exclusion:conflict-history" => Box::new(ExclusionSystem::new(
+            excl_cfg(ExclusionPolicy::ConflictHistory),
+            geom,
+            plumbing(),
+        )),
+        "exclusion:capacity" => Box::new(ExclusionSystem::new(
+            excl_cfg(ExclusionPolicy::Capacity),
+            geom,
+            plumbing(),
+        )),
+        "exclusion:capacity-history" => Box::new(ExclusionSystem::new(
+            excl_cfg(ExclusionPolicy::CapacityHistory),
+            geom,
+            plumbing(),
+        )),
+        "pseudo:lru" => Box::new(PseudoAssocSystem::new(
+            PseudoConfig::new(PseudoPolicy::Lru),
+            geom,
+            plumbing(),
+        )),
+        "pseudo:mct" => Box::new(PseudoAssocSystem::new(
+            PseudoConfig::new(PseudoPolicy::ConflictBit),
+            geom,
+            plumbing(),
+        )),
+        "remap:all" => Box::new(RemapSystem::new(
+            RemapConfig::new(CountPolicy::AllMisses),
+            geom,
+            plumbing(),
+        )),
+        "remap:conflict" => Box::new(RemapSystem::new(
+            RemapConfig::new(CountPolicy::ConflictOnly),
+            geom,
+            plumbing(),
+        )),
+        "amb:vict" => Box::new(AmbSystem::new(amb_cfg(AmbPolicy::Vict), geom, plumbing())),
+        "amb:pref" => Box::new(AmbSystem::new(amb_cfg(AmbPolicy::Pref), geom, plumbing())),
+        "amb:excl" => Box::new(AmbSystem::new(amb_cfg(AmbPolicy::Excl), geom, plumbing())),
+        "amb:victpref" => Box::new(AmbSystem::new(
+            amb_cfg(AmbPolicy::VictPref),
+            geom,
+            plumbing(),
+        )),
+        "amb:prefexcl" => Box::new(AmbSystem::new(
+            amb_cfg(AmbPolicy::PrefExcl),
+            geom,
+            plumbing(),
+        )),
+        "amb:victexcl" => Box::new(AmbSystem::new(
+            amb_cfg(AmbPolicy::VictExcl),
+            geom,
+            plumbing(),
+        )),
+        "amb:vicpreexc" => Box::new(AmbSystem::new(
+            amb_cfg(AmbPolicy::VicPreExc),
+            geom,
+            plumbing(),
+        )),
+        other => return Err(format!("unknown architecture '{other}' (try --list-archs)")),
+    })
+}
+
+fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Options>, String> {
+    let mut opts = Options::default();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--workload" => opts.workload = value("--workload")?,
+            "--arch" => opts.arch = value("--arch")?,
+            "--events" => {
+                opts.events = value("--events")?
+                    .parse()
+                    .map_err(|_| "--events: bad number".to_owned())?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed: bad number".to_owned())?
+            }
+            "--l1-size" => {
+                opts.l1_kb = value("--l1-size")?
+                    .parse()
+                    .map_err(|_| "--l1-size: bad number".to_owned())?
+            }
+            "--l1-assoc" => {
+                opts.l1_assoc = value("--l1-assoc")?
+                    .parse()
+                    .map_err(|_| "--l1-assoc: bad number".to_owned())?
+            }
+            "--entries" => {
+                opts.entries = Some(
+                    value("--entries")?
+                        .parse()
+                        .map_err(|_| "--entries: bad number".to_owned())?,
+                )
+            }
+            "--window" => {
+                opts.window = value("--window")?
+                    .parse()
+                    .map_err(|_| "--window: bad number".to_owned())?
+            }
+            "--list-archs" => {
+                for a in ARCHS {
+                    println!("{a}");
+                }
+                return Ok(None);
+            }
+            "--list-workloads" => {
+                for w in workloads::full_suite() {
+                    println!("{:10} [{}] {}", w.name(), w.category(), w.description());
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse(env::args().skip(1)) {
+        Ok(Some(o)) => o,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("{msg}");
+            }
+            return usage();
+        }
+    };
+
+    let Some(workload) = workloads::by_name(&opts.workload) else {
+        eprintln!(
+            "unknown workload '{}' (try --list-workloads)",
+            opts.workload
+        );
+        return ExitCode::FAILURE;
+    };
+    let mut system = match build_system(&opts) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cpu = OooModel::new(CpuConfig {
+        window: opts.window,
+        ..CpuConfig::paper_default()
+    });
+    let mut src = workload.source(opts.seed);
+    let trace = std::iter::from_fn(move || Some(src.next_event())).take(opts.events);
+    let report = cpu.run(&mut system, trace);
+
+    println!("workload     : {workload}");
+    println!("architecture : {}", system.label());
+    println!(
+        "events       : {} ({} instructions)",
+        opts.events, report.instructions
+    );
+    println!("cycles       : {}", report.cycles);
+    println!("IPC          : {:.4}", report.ipc());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,123 @@
+//! Trace utility: record a SPEC95-analog workload to the binary trace
+//! format, or summarize a recorded trace.
+//!
+//! ```text
+//! tracegen record <workload> <out.trace> [--events N] [--seed S]
+//! tracegen info <in.trace>
+//! tracegen list
+//! ```
+//!
+//! Recorded traces replay through any tool that speaks the
+//! `trace-gen` codec, and freeze a workload for regression comparison
+//! across versions.
+
+use std::env;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use trace_gen::{AccessKind, Trace};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n\
+         \x20 tracegen record <workload> <out.trace> [--events N] [--seed S]\n\
+         \x20 tracegen info <in.trace>\n\
+         \x20 tracegen list"
+    );
+    ExitCode::FAILURE
+}
+
+fn record(args: &[String]) -> ExitCode {
+    let (Some(name), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let mut events = 300_000usize;
+    let mut seed = 1u64;
+    let mut it = args[2..].iter();
+    while let Some(flag) = it.next() {
+        match (flag.as_str(), it.next()) {
+            ("--events", Some(v)) => match v.parse() {
+                Ok(n) => events = n,
+                Err(_) => return usage(),
+            },
+            ("--seed", Some(v)) => match v.parse() {
+                Ok(s) => seed = s,
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(workload) = workloads::by_name(name) else {
+        eprintln!("unknown workload '{name}' (try `tracegen list`)");
+        return ExitCode::FAILURE;
+    };
+    let mut src = workload.source(seed);
+    let trace: Trace = (0..events).map(|_| src.next_event()).collect();
+    let file = match File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = trace.write_to(BufWriter::new(file)) {
+        eprintln!("write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("recorded {events} events of {workload} (seed {seed}) to {path}");
+    ExitCode::SUCCESS
+}
+
+fn info(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match Trace::read_from(BufReader::new(file)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stores = trace
+        .iter()
+        .filter(|e| e.access.kind == AccessKind::Store)
+        .count();
+    println!("events       : {}", trace.len());
+    println!("instructions : {}", trace.instructions());
+    println!(
+        "stores       : {stores} ({:.1}%)",
+        100.0 * stores as f64 / trace.len().max(1) as f64
+    );
+    println!(
+        "footprint    : {} lines ({} KB at 64B lines)",
+        trace.footprint_lines(64),
+        trace.footprint_lines(64) * 64 / 1024
+    );
+    ExitCode::SUCCESS
+}
+
+fn list() -> ExitCode {
+    for w in workloads::full_suite() {
+        println!("{:10} [{}] {}", w.name(), w.category(), w.description());
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => record(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("list") => list(),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,153 @@
+//! Figure 1: the accuracy of miss classification across four cache
+//! configurations (16 KB DM, 16 KB 2-way, 64 KB DM, 64 KB 2-way).
+//!
+//! Paper reference points: 88% of conflict and 86% of capacity misses
+//! correctly identified on the 16 KB DM cache; 91%/92% on the 64 KB DM
+//! cache.
+
+use cache_model::CacheGeometry;
+use mct::accuracy::{AccuracyEvaluator, AccuracyReport};
+use mct::TagBits;
+use workloads::{full_suite, Workload};
+
+use crate::table::pct;
+use crate::{Table, SEED};
+
+/// One cache configuration's results.
+#[derive(Debug, Clone)]
+pub struct ConfigResult {
+    /// Human-readable configuration name.
+    pub name: String,
+    /// Per-benchmark accuracy reports.
+    pub benchmarks: Vec<(String, AccuracyReport)>,
+    /// Suite-wide (miss-weighted) accuracy.
+    pub average: AccuracyReport,
+}
+
+/// The full Figure 1 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// The four configurations, in the paper's order.
+    pub configs: Vec<ConfigResult>,
+    /// Events simulated per workload.
+    pub events: usize,
+}
+
+/// The paper's four cache configurations.
+#[must_use]
+pub fn configurations() -> Vec<(String, CacheGeometry)> {
+    [(16u64, 1u32), (16, 2), (64, 1), (64, 2)]
+        .into_iter()
+        .map(|(kb, ways)| {
+            let geom = CacheGeometry::new(kb * 1024, ways, 64).expect("paper geometry is valid");
+            (
+                format!(
+                    "{kb}KB {}",
+                    if ways == 1 {
+                        "DM".into()
+                    } else {
+                        format!("{ways}-way")
+                    }
+                ),
+                geom,
+            )
+        })
+        .collect()
+}
+
+fn evaluate(workload: &Workload, geom: CacheGeometry, events: usize) -> AccuracyReport {
+    let mut eval = AccuracyEvaluator::new(geom, TagBits::Full);
+    let mut src = workload.source(SEED);
+    for _ in 0..events {
+        eval.observe(src.next_event().access.addr.line(geom.line_size()));
+    }
+    eval.finish()
+}
+
+/// Runs the Figure 1 experiment with `events` references per
+/// workload.
+#[must_use]
+pub fn run(events: usize) -> Fig1 {
+    let configs = configurations()
+        .into_iter()
+        .map(|(name, geom)| {
+            let benchmarks: Vec<(String, AccuracyReport)> = crate::par_map(full_suite(), |w| {
+                (w.name().to_owned(), evaluate(&w, geom, events))
+            });
+            let mut average = AccuracyReport::default();
+            for (_, report) in &benchmarks {
+                average.merge(report);
+            }
+            ConfigResult {
+                name,
+                benchmarks,
+                average,
+            }
+        })
+        .collect();
+    Fig1 { configs, events }
+}
+
+impl std::fmt::Display for Fig1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Figure 1: miss classification accuracy ({} events/workload)\n",
+            self.events
+        )?;
+        let mut header = vec!["benchmark".to_owned()];
+        for c in &self.configs {
+            header.push(format!("{} conf%", c.name));
+            header.push(format!("{} cap%", c.name));
+        }
+        let mut table = Table::new(header);
+        let names: Vec<&String> = self.configs[0].benchmarks.iter().map(|(n, _)| n).collect();
+        for (i, name) in names.iter().enumerate() {
+            let mut row = vec![(*name).clone()];
+            for c in &self.configs {
+                let r = &c.benchmarks[i].1;
+                row.push(pct(r.conflict.value()));
+                row.push(pct(r.capacity.value()));
+            }
+            table.row(row);
+        }
+        let mut avg = vec!["AVERAGE".to_owned()];
+        for c in &self.configs {
+            avg.push(pct(c.average.conflict.value()));
+            avg.push(pct(c.average.capacity.value()));
+        }
+        table.row(avg);
+        write!(f, "{table}")?;
+        writeln!(
+            f,
+            "\npaper: 16KB DM 88/86, 64KB DM 91/92 (conflict%/capacity%)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_paper_configurations() {
+        let configs = configurations();
+        assert_eq!(configs.len(), 4);
+        assert_eq!(configs[0].0, "16KB DM");
+        assert_eq!(configs[1].0, "16KB 2-way");
+        assert_eq!(configs[3].1.associativity(), 2);
+    }
+
+    #[test]
+    fn small_run_has_sane_shape() {
+        let fig = run(3_000);
+        assert_eq!(fig.configs.len(), 4);
+        for c in &fig.configs {
+            assert_eq!(c.benchmarks.len(), workloads::full_suite().len());
+            assert!(c.average.misses > 0);
+        }
+        let display = fig.to_string();
+        assert!(display.contains("AVERAGE"));
+        assert!(display.contains("tomcatv"));
+    }
+}

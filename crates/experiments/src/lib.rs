@@ -1,0 +1,126 @@
+//! Reproduction drivers for every table and figure in the paper's
+//! evaluation (§3 and §5).
+//!
+//! Each module regenerates one artifact:
+//!
+//! | module    | paper artifact | content |
+//! |-----------|----------------|---------|
+//! | [`fig1`]  | Figure 1 | MCT accuracy vs the 3C oracle, four cache configurations |
+//! | [`fig2`]  | Figure 2 | accuracy vs number of saved tag bits |
+//! | [`fig3`]  | Figure 3 + Table 1 | victim-cache policies: speedups, hit rates, swaps, fills |
+//! | [`fig4`]  | Figure 4 | next-line prefetch filters: accuracy, coverage, speedup |
+//! | [`fig5`]  | Figure 5 | cache-exclusion policies: hit rates and speedups |
+//! | [`sec54`] | §5.4 | pseudo-associative cache: miss rates vs base and true 2-way |
+//! | [`fig6`]  | Figures 6 + 7 | AMB policy combinations: speedups and hit-rate components |
+//! | [`sec56`] | §5.6 | co-scheduling on a shared cache, ranked by MCT conflict rate |
+//! | [`ablation`] | (extensions) | shadow-directory depth, CPU window, buffer size |
+//!
+//! Every driver takes the number of trace events per workload, so the
+//! same code serves quick smoke tests, Criterion benches, and the full
+//! `repro` runs. Absolute numbers differ from the paper (the substrate
+//! is a synthetic-workload simulator, not SPEC95 on SMTSIM); the
+//! qualitative shape — who wins, roughly by how much, where crossovers
+//! fall — is the reproduction target (see EXPERIMENTS.md).
+//!
+//! # Examples
+//!
+//! ```
+//! let report = experiments::fig1::run(5_000);
+//! let dm16 = &report.configs[0];
+//! assert!(dm16.average.conflict.value() > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod sec54;
+pub mod sec56;
+mod table;
+
+pub use table::Table;
+
+/// Default events per workload for full experiment runs.
+pub const DEFAULT_EVENTS: usize = 300_000;
+
+/// The seed all experiments use (workload identity is mixed in by the
+/// workloads crate).
+pub const SEED: u64 = 1;
+
+/// Maps `f` over `items` on scoped threads, preserving order.
+///
+/// Every experiment iterates independent (workload, policy) cells;
+/// this fans them out across cores without touching determinism —
+/// each cell owns its own simulator state and RNG.
+pub(crate) fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let n = items.len();
+    if n <= 1 || threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(work);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads.min(n) {
+            handles.push(scope.spawn(|| {
+                let mut results = Vec::new();
+                loop {
+                    let next = queue.lock().expect("queue lock").pop();
+                    match next {
+                        Some((idx, item)) => results.push((idx, f(item))),
+                        None => break,
+                    }
+                }
+                results
+            }));
+        }
+        for h in handles {
+            for (idx, r) in h.join().expect("worker panicked") {
+                slots[idx] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
+}
+
+/// Runs a workload trace through a memory system under the paper's
+/// CPU model, returning the timing report.
+pub(crate) fn drive<M: cpu_model::MemorySystem>(
+    system: &mut M,
+    workload: &workloads::Workload,
+    events: usize,
+) -> cpu_model::CpuReport {
+    let cpu = cpu_model::OooModel::new(cpu_model::CpuConfig::paper_default());
+    let mut source = workload.source(SEED);
+    let trace = std::iter::from_fn(move || Some(source.next_event())).take(events);
+    cpu.run(system, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn drive_runs_a_workload() {
+        let w = workloads::by_name("swim").unwrap();
+        let mut sys = cpu_model::BaselineSystem::paper_default().unwrap();
+        let report = super::drive(&mut sys, &w, 1_000);
+        assert!(report.instructions > 1_000);
+        assert!(report.cycles > 0);
+    }
+}

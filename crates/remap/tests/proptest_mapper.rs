@@ -1,0 +1,34 @@
+//! Property tests for the page mapper.
+
+use conflict_remap::PageMapper;
+use proptest::prelude::*;
+use sim_core::Addr;
+
+proptest! {
+    /// Translation always preserves the page offset, remapped pages
+    /// land on the requested color, and distinct virtual pages never
+    /// share a physical frame.
+    #[test]
+    fn mapper_invariants(
+        remaps in prop::collection::vec((0u64..64, 0u64..4), 0..100),
+        probes in prop::collection::vec(0u64..(64 * 4096), 1..50)
+    ) {
+        let mut m = PageMapper::new(4096, 4);
+        for (vpage, color) in remaps {
+            m.remap(vpage, color);
+            prop_assert_eq!(m.color_of(vpage), color);
+        }
+        // Offsets survive translation.
+        for raw in probes {
+            let t = m.translate(Addr::new(raw));
+            prop_assert_eq!(t.raw() % 4096, raw % 4096);
+        }
+        // Injectivity over the touched region: distinct vpages map to
+        // distinct frames.
+        let mut frames = std::collections::HashSet::new();
+        for vpage in 0..64u64 {
+            let frame = m.translate(Addr::new(vpage * 4096)).raw() / 4096;
+            prop_assert!(frames.insert(frame), "frame {frame} shared");
+        }
+    }
+}

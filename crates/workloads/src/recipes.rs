@@ -1,0 +1,843 @@
+//! The per-benchmark recipes: which access-pattern primitives, at
+//! which scales, compose each SPEC95 analog.
+//!
+//! Scales are chosen relative to the paper's 16 KB direct-mapped,
+//! 64-byte-line L1 (collision modulus 16 KB, 256 sets):
+//!
+//! * regions larger than 16 KB generate capacity misses;
+//! * address pairs a multiple of 16 KB apart generate *near-miss*
+//!   conflicts — the kind one extra way would catch, which is exactly
+//!   what the MCT identifies;
+//! * small hot regions generate hits; their bases are staggered within
+//!   the 16 KB modulus so they do not accidentally thrash each other.
+//!
+//! Each recipe's weights are calibrated (tests/calibration.rs) so the
+//! analog lands in the rough miss-rate band of its SPEC95 namesake on
+//! the paper's L1, with `tomcatv` the memory-critical extreme (~38 %)
+//! and `fpppp` nearly hit-only.
+
+use sim_core::Addr;
+use trace_gen::pattern::{
+    Burst, Interleave, LockstepArrays, PointerChase, SequentialSweep, SetConflict, StridedStream,
+    ZipfAccess,
+};
+use trace_gen::TraceSource;
+
+use crate::{Category, Workload};
+
+const KB: u64 = 1024;
+/// The collision modulus of the paper's L1: addresses this far apart
+/// share a cache set.
+const CACHE: u64 = 16 * KB;
+/// Address-space segment size; each pattern of a workload lives in its
+/// own segment. Segments are a multiple of the cache size apart, so a
+/// per-component stagger (below) controls which sets small regions
+/// occupy.
+const SEG: u64 = 1 << 28;
+
+/// Segment `i`, staggered two ways: by `i` quarter-caches so small hot
+/// regions of different components land in different sets, and by
+/// `73·i` cache sizes so segments differ in the *low* tag bits too —
+/// perfectly 2^28-aligned bases would let partial-tag MCTs alias
+/// same-offset lines across segments, an artifact real address spaces
+/// do not share.
+fn seg(i: u64) -> Addr {
+    Addr::new((i + 1) * SEG + i * 73 * CACHE + (i % 4) * (CACHE / 4))
+}
+
+fn pc(i: u64) -> Addr {
+    Addr::new(0x0040_0000 + i * 0x100)
+}
+
+/// Identifies a workload recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Kind {
+    Tomcatv,
+    Swim,
+    Su2cor,
+    Hydro2d,
+    Mgrid,
+    Applu,
+    Turb3d,
+    Apsi,
+    Wave5,
+    Fpppp,
+    Go,
+    M88ksim,
+    Gcc,
+    Compress,
+    Li,
+    Ijpeg,
+    Perl,
+    Vortex,
+}
+
+fn mix_seed(kind: Kind, seed: u64) -> u64 {
+    // Give every workload an independent stream for the same user
+    // seed.
+    (kind as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed
+}
+
+type Child = (Box<dyn TraceSource>, f64);
+
+fn interleave(children: Vec<Child>, run: u32, seed: u64) -> Box<dyn TraceSource> {
+    Box::new(Interleave::new(children, run, seed))
+}
+
+fn boxed<S: TraceSource + 'static>(s: S) -> Box<dyn TraceSource> {
+    Box::new(s)
+}
+
+/// Builds the generator for a recipe.
+pub(crate) fn build(kind: Kind, seed: u64) -> Box<dyn TraceSource> {
+    let s = mix_seed(kind, seed);
+    match kind {
+        // ---- SPEC95fp analogs -------------------------------------
+        // tomcatv: mesh generation; large arrays traversed in lockstep
+        // with colliding bases — the paper's most memory-critical code
+        // (38% miss rate with no buffer). The colliding pair ping-pongs
+        // one set per index (pure near-miss conflicts); the sweeps add
+        // streaming capacity misses.
+        Kind::Tomcatv => interleave(
+            vec![
+                (
+                    boxed(
+                        LockstepArrays::new(vec![seg(0), seg(0) + 16 * CACHE], 256 * KB, 8)
+                            .with_work(3)
+                            .with_pc(pc(1)),
+                    ),
+                    2.5,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(1), 256 * KB, 8)
+                            .with_work(4)
+                            .with_pc(pc(2)),
+                    ),
+                    3.0,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(2), 256 * KB, 8)
+                            .with_work(3)
+                            .with_store_period(5)
+                            .with_pc(pc(3)),
+                    ),
+                    3.0,
+                ),
+            ],
+            96,
+            s,
+        ),
+        // swim: shallow-water stencil; pure streaming over three big
+        // grids — capacity misses, next-line prefetching's best case.
+        Kind::Swim => interleave(
+            vec![
+                (
+                    boxed(
+                        SequentialSweep::new(seg(0), 384 * KB, 8)
+                            .with_work(4)
+                            .with_pc(pc(1)),
+                    ),
+                    3.0,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(1), 384 * KB, 8)
+                            .with_work(4)
+                            .with_pc(pc(2)),
+                    ),
+                    3.0,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(2), 384 * KB, 8)
+                            .with_work(3)
+                            .with_store_period(4)
+                            .with_pc(pc(3)),
+                    ),
+                    2.0,
+                ),
+            ],
+            192,
+            s,
+        ),
+        // su2cor: quantum physics; mostly unit-stride with an
+        // occasional long-stride pass and one contended pair.
+        Kind::Su2cor => interleave(
+            vec![
+                (
+                    boxed(
+                        StridedStream::new(seg(0), 512 * KB, 136)
+                            .with_work(4)
+                            .with_pc(pc(1)),
+                    ),
+                    0.3,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(1), 128 * KB, 8)
+                            .with_work(4)
+                            .with_pc(pc(2)),
+                    ),
+                    7.5,
+                ),
+                (
+                    boxed(
+                        SetConflict::new(seg(2), 2, CACHE, 6)
+                            .with_work(4)
+                            .with_pc(pc(3)),
+                    ),
+                    1.0,
+                ),
+            ],
+            64,
+            s,
+        ),
+        // hydro2d: 2-D hydrodynamics; row sweeps plus occasional
+        // column sweeps (row pitch 8 KB, so columns ping-pong between
+        // two sets).
+        Kind::Hydro2d => interleave(
+            vec![
+                (
+                    boxed(
+                        SequentialSweep::new(seg(0), 512 * KB, 8)
+                            .with_work(4)
+                            .with_pc(pc(1)),
+                    ),
+                    5.0,
+                ),
+                (
+                    boxed(
+                        StridedStream::new(seg(0), 512 * KB, 8 * KB)
+                            .with_work(3)
+                            .with_pc(pc(2)),
+                    ),
+                    0.4,
+                ),
+                (
+                    boxed(
+                        ZipfAccess::new(seg(3), 96, 64, 1.1, s ^ 24)
+                            .with_work(5)
+                            .with_pc(pc(4)),
+                    ),
+                    1.5,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(1), 128 * KB, 8)
+                            .with_work(3)
+                            .with_store_period(3)
+                            .with_pc(pc(3)),
+                    ),
+                    2.0,
+                ),
+            ],
+            128,
+            s,
+        ),
+        // mgrid: multigrid solver; the same data revisited at
+        // power-of-two strides (grid levels), with a hot coefficient
+        // table.
+        Kind::Mgrid => interleave(
+            vec![
+                (
+                    boxed(
+                        SequentialSweep::new(seg(0), 256 * KB, 8)
+                            .with_work(4)
+                            .with_pc(pc(1)),
+                    ),
+                    3.0,
+                ),
+                (
+                    boxed(
+                        StridedStream::new(seg(0), 256 * KB, 16)
+                            .with_work(4)
+                            .with_pc(pc(2)),
+                    ),
+                    1.5,
+                ),
+                (
+                    boxed(
+                        StridedStream::new(seg(0), 256 * KB, 512)
+                            .with_work(4)
+                            .with_pc(pc(3)),
+                    ),
+                    0.3,
+                ),
+                (
+                    boxed(
+                        ZipfAccess::new(seg(1), 64, 64, 0.9, s ^ 20)
+                            .with_work(5)
+                            .with_pc(pc(4)),
+                    ),
+                    2.5,
+                ),
+            ],
+            96,
+            s,
+        ),
+        // applu: blocked PDE solver; block-reuse bursts, a hot
+        // coefficient region, and one contended array pair.
+        Kind::Applu => interleave(
+            vec![
+                (
+                    boxed(Burst::new(
+                        SequentialSweep::new(seg(0), 512 * KB, 64)
+                            .with_work(4)
+                            .with_pc(pc(1)),
+                        8,
+                        64,
+                        s ^ 1,
+                    )),
+                    6.0,
+                ),
+                (
+                    boxed(
+                        LockstepArrays::new(vec![seg(1), seg(1) + 8 * CACHE], 128 * KB, 8)
+                            .with_work(3)
+                            .with_pc(pc(2)),
+                    ),
+                    0.4,
+                ),
+                (
+                    boxed(
+                        ZipfAccess::new(seg(2), 96, 64, 1.1, s ^ 21)
+                            .with_work(5)
+                            .with_pc(pc(3)),
+                    ),
+                    3.0,
+                ),
+            ],
+            64,
+            s,
+        ),
+        // turb3d: FFT-based turbulence; butterfly strides equal to the
+        // cache size — textbook near-miss conflicts — over a streaming
+        // background.
+        Kind::Turb3d => interleave(
+            vec![
+                (
+                    boxed(
+                        StridedStream::new(seg(0), 2 * CACHE, CACHE)
+                            .with_work(4)
+                            .with_pc(pc(1)),
+                    ),
+                    0.8,
+                ),
+                (
+                    boxed(
+                        StridedStream::new(seg(1), 4 * CACHE, CACHE)
+                            .with_work(4)
+                            .with_pc(pc(2)),
+                    ),
+                    0.25,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(2), 256 * KB, 8)
+                            .with_work(4)
+                            .with_pc(pc(3)),
+                    ),
+                    5.0,
+                ),
+                (
+                    boxed(
+                        ZipfAccess::new(seg(3), 96, 64, 1.1, s ^ 22)
+                            .with_work(5)
+                            .with_pc(pc(4)),
+                    ),
+                    3.0,
+                ),
+            ],
+            48,
+            s,
+        ),
+        // apsi: weather code; several small arrays that mostly fit,
+        // plus one medium sweep — modest miss rate.
+        Kind::Apsi => interleave(
+            vec![
+                (
+                    boxed(
+                        LockstepArrays::new(
+                            vec![seg(0), seg(0) + 33 * KB, seg(0) + 66 * KB, seg(0) + 99 * KB],
+                            32 * KB,
+                            8,
+                        )
+                        .with_work(4)
+                        .with_pc(pc(1)),
+                    ),
+                    3.0,
+                ),
+                (
+                    boxed(
+                        ZipfAccess::new(seg(1), 128, 64, 1.0, s ^ 2)
+                            .with_work(5)
+                            .with_pc(pc(2)),
+                    ),
+                    2.0,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(2), 96 * KB, 8)
+                            .with_work(4)
+                            .with_pc(pc(3)),
+                    ),
+                    1.0,
+                ),
+            ],
+            64,
+            s,
+        ),
+        // wave5: particle-in-cell; field sweeps plus particle gathers
+        // through a permutation (no spatial locality).
+        Kind::Wave5 => interleave(
+            vec![
+                (
+                    boxed(
+                        PointerChase::new(seg(0), 512 * KB, 64, s ^ 3)
+                            .with_work(2)
+                            .with_pc(pc(1)),
+                    ),
+                    1.0,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(1), 256 * KB, 8)
+                            .with_work(4)
+                            .with_pc(pc(2)),
+                    ),
+                    4.0,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(2), 64 * KB, 8)
+                            .with_work(3)
+                            .with_store_period(4)
+                            .with_pc(pc(3)),
+                    ),
+                    1.0,
+                ),
+                (
+                    boxed(
+                        ZipfAccess::new(seg(3), 128, 64, 1.1, s ^ 23)
+                            .with_work(4)
+                            .with_pc(pc(4)),
+                    ),
+                    2.5,
+                ),
+            ],
+            64,
+            s,
+        ),
+        // fpppp: quantum chemistry; tiny working set, almost no
+        // misses — one of the "uninteresting" codes kept for the
+        // accuracy study.
+        Kind::Fpppp => interleave(
+            vec![
+                // 64 lines at sets 0–63; the sweep sits at sets 64–127
+                // (seg(1) is staggered a quarter cache), so the two
+                // never conflict and the working set fully fits.
+                (
+                    boxed(
+                        ZipfAccess::new(seg(0), 64, 64, 1.1, s ^ 4)
+                            .with_work(7)
+                            .with_pc(pc(1)),
+                    ),
+                    4.0,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(1), 4 * KB, 8)
+                            .with_work(6)
+                            .with_pc(pc(2)),
+                    ),
+                    2.0,
+                ),
+            ],
+            64,
+            s,
+        ),
+        // ---- SPEC95int analogs ------------------------------------
+        // go: game tree search; hot board structures plus pointer
+        // walks over a medium heap.
+        Kind::Go => interleave(
+            vec![
+                (
+                    boxed(
+                        ZipfAccess::new(seg(0), 192, 64, 1.2, s ^ 5)
+                            .with_work(6)
+                            .with_pc(pc(1)),
+                    ),
+                    6.0,
+                ),
+                (
+                    boxed(
+                        PointerChase::new(seg(1), 48 * KB, 64, s ^ 6)
+                            .with_work(5)
+                            .with_pc(pc(2)),
+                    ),
+                    0.5,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(2), 24 * KB, 8)
+                            .with_work(5)
+                            .with_pc(pc(3)),
+                    ),
+                    0.5,
+                ),
+            ],
+            32,
+            s,
+        ),
+        // m88ksim: CPU simulator; hot tables with one recurring
+        // structure collision — low miss rate, conflict-flavored.
+        Kind::M88ksim => interleave(
+            vec![
+                (
+                    boxed(
+                        ZipfAccess::new(seg(0), 128, 64, 1.1, s ^ 7)
+                            .with_work(6)
+                            .with_pc(pc(1)),
+                    ),
+                    6.0,
+                ),
+                (
+                    boxed(
+                        SetConflict::new(seg(1), 2, CACHE, 8)
+                            .with_work(5)
+                            .with_pc(pc(2)),
+                    ),
+                    1.5,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(2), 16 * KB, 8)
+                            .with_work(5)
+                            .with_pc(pc(3)),
+                    ),
+                    0.5,
+                ),
+            ],
+            32,
+            s,
+        ),
+        // gcc: compiler; large irregular footprint, low locality,
+        // "messy" mix of everything.
+        Kind::Gcc => interleave(
+            vec![
+                (
+                    boxed(
+                        ZipfAccess::new(seg(0), 512, 64, 1.2, s ^ 8)
+                            .with_work(5)
+                            .with_pc(pc(1)),
+                    ),
+                    6.0,
+                ),
+                (
+                    boxed(
+                        PointerChase::new(seg(1), 96 * KB, 64, s ^ 9)
+                            .with_work(4)
+                            .with_pc(pc(2)),
+                    ),
+                    0.35,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(2), 64 * KB, 8)
+                            .with_work(4)
+                            .with_store_period(5)
+                            .with_pc(pc(3)),
+                    ),
+                    2.0,
+                ),
+            ],
+            24,
+            s,
+        ),
+        // compress: dictionary compression; near-uniform hashing into
+        // a large table plus a streaming input — capacity-dominated.
+        Kind::Compress => interleave(
+            vec![
+                (
+                    boxed(
+                        ZipfAccess::new(seg(0), 4096, 64, 0.25, s ^ 10)
+                            .with_work(4)
+                            .with_store_period(3)
+                            .with_pc(pc(1)),
+                    ),
+                    1.0,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(1), 1024 * KB, 8)
+                            .with_work(4)
+                            .with_pc(pc(2)),
+                    ),
+                    6.0,
+                ),
+            ],
+            32,
+            s,
+        ),
+        // li: lisp interpreter; cons-cell chasing over a heap around
+        // the cache size, with hot roots and occasional GC sweeps.
+        Kind::Li => interleave(
+            vec![
+                (
+                    boxed(
+                        PointerChase::new(seg(0), 12 * KB, 64, s ^ 11)
+                            .with_work(3)
+                            .with_pc(pc(1)),
+                    ),
+                    4.0,
+                ),
+                (
+                    boxed(
+                        PointerChase::new(seg(1), 40 * KB, 64, s ^ 19)
+                            .with_work(3)
+                            .with_pc(pc(2)),
+                    ),
+                    0.3,
+                ),
+                (
+                    boxed(
+                        ZipfAccess::new(seg(2), 128, 64, 1.2, s ^ 12)
+                            .with_work(5)
+                            .with_pc(pc(3)),
+                    ),
+                    3.0,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(1), 40 * KB, 64)
+                            .with_work(3)
+                            .with_pc(pc(4)),
+                    ),
+                    0.25,
+                ),
+            ],
+            32,
+            s,
+        ),
+        // ijpeg: image compression; 8×8 block bursts over a large
+        // image plus small quantization tables.
+        Kind::Ijpeg => interleave(
+            vec![
+                (
+                    boxed(Burst::new(
+                        SequentialSweep::new(seg(0), 512 * KB, 64)
+                            .with_work(5)
+                            .with_pc(pc(1)),
+                        8,
+                        64,
+                        s ^ 13,
+                    )),
+                    4.0,
+                ),
+                (
+                    boxed(
+                        ZipfAccess::new(seg(1), 96, 64, 1.0, s ^ 14)
+                            .with_work(6)
+                            .with_pc(pc(2)),
+                    ),
+                    2.0,
+                ),
+            ],
+            64,
+            s,
+        ),
+        // perl: interpreter; hashes and strings, moderate footprint.
+        Kind::Perl => interleave(
+            vec![
+                (
+                    boxed(
+                        ZipfAccess::new(seg(0), 384, 64, 1.2, s ^ 15)
+                            .with_work(5)
+                            .with_pc(pc(1)),
+                    ),
+                    5.0,
+                ),
+                (
+                    boxed(
+                        PointerChase::new(seg(1), 32 * KB, 64, s ^ 16)
+                            .with_work(4)
+                            .with_pc(pc(2)),
+                    ),
+                    0.5,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(2), 32 * KB, 8)
+                            .with_work(5)
+                            .with_pc(pc(3)),
+                    ),
+                    1.0,
+                ),
+            ],
+            24,
+            s,
+        ),
+        // vortex: object database; large skewed object heap, index
+        // walks, write-heavy commit streams.
+        Kind::Vortex => interleave(
+            vec![
+                (
+                    boxed(
+                        ZipfAccess::new(seg(0), 768, 64, 1.2, s ^ 17)
+                            .with_work(5)
+                            .with_pc(pc(1)),
+                    ),
+                    6.0,
+                ),
+                (
+                    boxed(
+                        PointerChase::new(seg(1), 128 * KB, 64, s ^ 18)
+                            .with_work(4)
+                            .with_pc(pc(2)),
+                    ),
+                    0.5,
+                ),
+                (
+                    boxed(
+                        SequentialSweep::new(seg(2), 64 * KB, 8)
+                            .with_work(4)
+                            .with_store_period(4)
+                            .with_pc(pc(3)),
+                    ),
+                    1.5,
+                ),
+            ],
+            32,
+            s,
+        ),
+    }
+}
+
+/// All analogs, for the accuracy study (Figures 1–2).
+pub(crate) fn full_suite() -> Vec<Workload> {
+    vec![
+        Workload::new(
+            "tomcatv",
+            "mesh generation: colliding lockstep arrays + streaming",
+            Category::Fp,
+            Kind::Tomcatv,
+        ),
+        Workload::new(
+            "swim",
+            "shallow water: pure grid streaming",
+            Category::Fp,
+            Kind::Swim,
+        ),
+        Workload::new(
+            "su2cor",
+            "quantum physics: long strides + one contended pair",
+            Category::Fp,
+            Kind::Su2cor,
+        ),
+        Workload::new(
+            "hydro2d",
+            "hydrodynamics: row sweeps with column ping-pong",
+            Category::Fp,
+            Kind::Hydro2d,
+        ),
+        Workload::new(
+            "mgrid",
+            "multigrid: power-of-two stride revisits",
+            Category::Fp,
+            Kind::Mgrid,
+        ),
+        Workload::new(
+            "applu",
+            "blocked PDE solver: block-reuse bursts + contended pair",
+            Category::Fp,
+            Kind::Applu,
+        ),
+        Workload::new(
+            "turb3d",
+            "FFT turbulence: cache-size butterfly strides",
+            Category::Fp,
+            Kind::Turb3d,
+        ),
+        Workload::new(
+            "apsi",
+            "weather: several small arrays, modest misses",
+            Category::Fp,
+            Kind::Apsi,
+        ),
+        Workload::new(
+            "wave5",
+            "particle-in-cell: gathers + field sweeps",
+            Category::Fp,
+            Kind::Wave5,
+        ),
+        Workload::new(
+            "fpppp",
+            "quantum chemistry: tiny working set, few misses",
+            Category::Fp,
+            Kind::Fpppp,
+        ),
+        Workload::new(
+            "go",
+            "game search: hot structures + heap walks",
+            Category::Int,
+            Kind::Go,
+        ),
+        Workload::new(
+            "m88ksim",
+            "CPU simulator: hot tables + one structure collision",
+            Category::Int,
+            Kind::M88ksim,
+        ),
+        Workload::new(
+            "gcc",
+            "compiler: large irregular footprint",
+            Category::Int,
+            Kind::Gcc,
+        ),
+        Workload::new(
+            "compress",
+            "compression: hash table + input stream",
+            Category::Int,
+            Kind::Compress,
+        ),
+        Workload::new(
+            "li",
+            "lisp: cons-cell chasing over a small heap",
+            Category::Int,
+            Kind::Li,
+        ),
+        Workload::new(
+            "ijpeg",
+            "image compression: 8x8 block bursts",
+            Category::Int,
+            Kind::Ijpeg,
+        ),
+        Workload::new(
+            "perl",
+            "interpreter: hashes and strings",
+            Category::Int,
+            Kind::Perl,
+        ),
+        Workload::new(
+            "vortex",
+            "object database: skewed heap + index walks",
+            Category::Int,
+            Kind::Vortex,
+        ),
+    ]
+}
+
+/// The §5 subset: benchmarks with an interesting conflict/capacity
+/// mix.
+pub(crate) fn suite() -> Vec<Workload> {
+    let keep = [
+        "tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d", "wave5", "gcc",
+        "compress", "li", "vortex",
+    ];
+    full_suite()
+        .into_iter()
+        .filter(|w| keep.contains(&w.name()))
+        .collect()
+}

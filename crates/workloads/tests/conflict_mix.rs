@@ -1,0 +1,78 @@
+//! Conflict/capacity mix calibration: beyond raw miss rates, the §5
+//! suite needs benchmarks across the conflict-share spectrum — some
+//! dominated by conflicts (victim-cache / pseudo-assoc targets), some
+//! by capacity (prefetch / exclusion targets), most mixed.
+
+use cache_model::CacheGeometry;
+use mct::{ClassifyingCache, TagBits};
+use workloads::by_name;
+
+const EVENTS: usize = 200_000;
+
+/// Fraction of misses the MCT classifies as conflicts on the paper's
+/// 16 KB DM L1.
+fn conflict_share(name: &str) -> f64 {
+    let w = by_name(name).unwrap_or_else(|| panic!("workload {name} missing"));
+    let geom = CacheGeometry::new(16 * 1024, 1, 64).unwrap();
+    let mut cache = ClassifyingCache::new(geom, TagBits::Full);
+    let mut src = w.source(1);
+    for _ in 0..EVENTS {
+        cache.access(src.next_event().access.addr.line(64));
+    }
+    let (conflict, capacity) = cache.class_counts();
+    conflict as f64 / (conflict + capacity).max(1) as f64
+}
+
+#[test]
+fn suite_spans_the_conflict_spectrum() {
+    let mut shares: Vec<(&str, f64)> = [
+        "tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d", "wave5", "gcc",
+        "compress", "li", "vortex",
+    ]
+    .iter()
+    .map(|n| (*n, conflict_share(n)))
+    .collect();
+    shares.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (n, s) in &shares {
+        println!("{n:10} conflict share {:.1}%", s * 100.0);
+    }
+    // The suite must contain capacity-dominated members...
+    assert!(
+        shares.first().unwrap().1 < 0.10,
+        "no capacity-dominated workload"
+    );
+    // ...conflict-heavy members...
+    assert!(
+        shares.last().unwrap().1 > 0.45,
+        "no conflict-heavy workload"
+    );
+    // ...and a real middle (at least a third of the suite between
+    // 10% and 60% conflict share).
+    let mixed = shares
+        .iter()
+        .filter(|(_, s)| (0.10..0.60).contains(s))
+        .count();
+    assert!(mixed >= 4, "only {mixed} mixed workloads");
+}
+
+#[test]
+fn named_extremes_behave_as_designed() {
+    // swim is the pure streaming benchmark: essentially no conflicts.
+    assert!(
+        conflict_share("swim") < 0.02,
+        "swim {}",
+        conflict_share("swim")
+    );
+    // tomcatv's colliding lockstep pairs make it conflict-heavy.
+    assert!(
+        conflict_share("tomcatv") > 0.45,
+        "tomcatv {}",
+        conflict_share("tomcatv")
+    );
+    // turb3d's cache-size butterfly strides are conflicts by design.
+    assert!(
+        conflict_share("turb3d") > 0.25,
+        "turb3d {}",
+        conflict_share("turb3d")
+    );
+}

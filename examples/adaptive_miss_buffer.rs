@@ -1,0 +1,66 @@
+//! Explore the Adaptive Miss Buffer: run every policy combination on
+//! a workload and watch each miss class being served by its own
+//! optimization — the §5.5 story, per benchmark.
+//!
+//! Run with: `cargo run --release --example adaptive_miss_buffer -- tomcatv`
+
+use conflict_miss_repro::amb::{AmbConfig, AmbPolicy, AmbSystem};
+use conflict_miss_repro::cpu_model::{BaselineSystem, CpuConfig, OooModel};
+use conflict_miss_repro::workloads;
+
+const EVENTS: usize = 300_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tomcatv".to_owned());
+    let Some(workload) = workloads::by_name(&name) else {
+        eprintln!("unknown workload '{name}'");
+        std::process::exit(1);
+    };
+    let cpu = OooModel::new(CpuConfig::paper_default());
+    let trace = || {
+        let mut src = workload.source(1);
+        std::iter::from_fn(move || Some(src.next_event())).take(EVENTS)
+    };
+
+    let mut baseline = BaselineSystem::paper_default()?;
+    let base = cpu.run(&mut baseline, trace());
+    println!(
+        "workload {name}: baseline IPC {:.3}, D$ miss rate {:.1}%\n",
+        base.ipc(),
+        100.0 * baseline.l1_stats().miss_rate()
+    );
+
+    for entries in [8usize, 16] {
+        println!("--- {entries}-entry buffer ---");
+        println!(
+            "{:<10} {:>8} {:>7} {:>8} {:>9} {:>10} {:>8}",
+            "policy", "speedup", "D$ %", "victim%", "prefetch%", "exclusion%", "miss%"
+        );
+        for policy in AmbPolicy::ALL {
+            let cfg = if entries == 8 {
+                AmbConfig::new(policy)
+            } else {
+                AmbConfig::large(policy)
+            };
+            let mut sys = AmbSystem::paper_default(cfg)?;
+            let report = cpu.run(&mut sys, trace());
+            let s = sys.stats();
+            println!(
+                "{:<10} {:>8.3} {:>7.1} {:>8.2} {:>9.2} {:>10.2} {:>8.1}",
+                policy.to_string(),
+                report.speedup_over(&base),
+                100.0 * s.d_hit_rate(),
+                100.0 * s.victim_hit_rate(),
+                100.0 * s.prefetch_hit_rate(),
+                100.0 * s.exclusion_hit_rate(),
+                100.0 * s.effective_miss_rate(),
+            );
+        }
+        println!();
+    }
+    println!("paper §5.5: the combined policies cover both miss classes at once,");
+    println!("cutting the effective miss rate ~1.4x below the best single policy.");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Classify the misses of any SPEC95-analog workload and score the
+//! MCT against the three-C oracle — a one-workload slice of Figure 1.
+//!
+//! Run with: `cargo run --release --example classify_workload -- tomcatv [events]`
+
+use conflict_miss_repro::cache_model::CacheGeometry;
+use conflict_miss_repro::mct::accuracy::AccuracyEvaluator;
+use conflict_miss_repro::mct::TagBits;
+use conflict_miss_repro::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "tomcatv".to_owned());
+    let events: usize = args.next().map_or(Ok(300_000), |s| s.parse())?;
+
+    let Some(workload) = workloads::by_name(&name) else {
+        eprintln!("unknown workload '{name}'; available:");
+        for w in workloads::full_suite() {
+            eprintln!("  {:10} {}", w.name(), w.description());
+        }
+        std::process::exit(1);
+    };
+
+    println!("workload: {workload} — {}", workload.description());
+    println!("events  : {events}\n");
+    println!(
+        "{:<12} {:>10} {:>8} {:>12} {:>12}",
+        "config", "misses", "miss%", "conflict-acc", "capacity-acc"
+    );
+
+    for (kb, ways) in [(16u64, 1u32), (16, 2), (64, 1), (64, 2)] {
+        let geom = CacheGeometry::new(kb * 1024, ways, 64)?;
+        let mut eval = AccuracyEvaluator::new(geom, TagBits::Full);
+        let mut src = workload.source(1);
+        for _ in 0..events {
+            eval.observe(src.next_event().access.addr.line(64));
+        }
+        let r = eval.report();
+        println!(
+            "{:<12} {:>10} {:>7.1}% {:>11.1}% {:>11.1}%",
+            format!("{kb}KB {ways}-way"),
+            r.misses,
+            100.0 * r.misses as f64 / r.accesses as f64,
+            r.conflict.percent(),
+            r.capacity.percent(),
+        );
+    }
+    Ok(())
+}

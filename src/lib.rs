@@ -1,0 +1,36 @@
+//! Umbrella crate for the conflict-miss reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so examples,
+//! integration tests, and downstream users can depend on a single
+//! package:
+//!
+//! * [`mct`] — the Miss Classification Table (the paper's
+//!   contribution);
+//! * [`cache_model`] — caches, MSHRs, banks, L2 + memory, 3C oracle;
+//! * [`trace_gen`] / [`workloads`] — reference streams and SPEC95
+//!   analogs;
+//! * [`cpu_model`] — the out-of-order timing model and baseline;
+//! * [`assist_buffer`], [`victim_cache`], [`prefetcher`],
+//!   [`exclusion`], [`pseudo_assoc`], [`amb`] — the cache-assist
+//!   architectures;
+//! * [`experiments`] — drivers that regenerate every table and figure.
+//!
+//! See the README for a tour and `examples/` for runnable entry
+//! points.
+
+#![forbid(unsafe_code)]
+
+pub use amb;
+pub use assist_buffer;
+pub use cache_model;
+pub use conflict_remap;
+pub use cpu_model;
+pub use exclusion;
+pub use experiments;
+pub use mct;
+pub use prefetcher;
+pub use pseudo_assoc;
+pub use sim_core;
+pub use trace_gen;
+pub use victim_cache;
+pub use workloads;

@@ -1,0 +1,112 @@
+//! Cross-crate validation of the paper's headline claim (Figure 1):
+//! the MCT correctly classifies the large majority of misses against
+//! the classic three-C oracle, across cache configurations.
+
+use cache_model::CacheGeometry;
+use mct::accuracy::{AccuracyEvaluator, AccuracyReport};
+use mct::TagBits;
+use workloads::full_suite;
+
+const EVENTS: usize = 150_000;
+
+fn suite_accuracy(size_kb: u64, assoc: u32, tag_bits: TagBits) -> AccuracyReport {
+    let geom = CacheGeometry::new(size_kb * 1024, assoc, 64).unwrap();
+    let mut total = AccuracyReport::default();
+    for w in full_suite() {
+        let mut eval = AccuracyEvaluator::new(geom, tag_bits);
+        let mut src = w.source(1);
+        for _ in 0..EVENTS {
+            eval.observe(src.next_event().access.addr.line(64));
+        }
+        total.merge(eval.report());
+    }
+    total
+}
+
+#[test]
+fn figure1_shape_16kb_dm() {
+    let r = suite_accuracy(16, 1, TagBits::Full);
+    println!(
+        "16KB DM: conflict {:.1}%, capacity {:.1}%, overall {:.1}%",
+        r.conflict.percent(),
+        r.capacity.percent(),
+        r.overall() * 100.0
+    );
+    // Paper: 88% conflict / 86% capacity on 16KB DM. Require the
+    // figure's qualitative claim: both well above 75%, overall ≥ 80%.
+    assert!(
+        r.conflict.value() > 0.75,
+        "conflict accuracy {}",
+        r.conflict.value()
+    );
+    assert!(
+        r.capacity.value() > 0.75,
+        "capacity accuracy {}",
+        r.capacity.value()
+    );
+    assert!(r.overall() > 0.80, "overall {}", r.overall());
+    // And there must be real numbers behind it.
+    assert!(r.conflict.denominator() > 10_000);
+    assert!(r.capacity.denominator() > 10_000);
+}
+
+#[test]
+fn figure1_shape_across_configurations() {
+    for (kb, assoc) in [(16, 1), (16, 2), (64, 1), (64, 2)] {
+        let r = suite_accuracy(kb, assoc, TagBits::Full);
+        println!(
+            "{kb}KB {assoc}-way: conflict {:.1}%, capacity {:.1}% ({} conflict / {} capacity misses)",
+            r.conflict.percent(),
+            r.capacity.percent(),
+            r.conflict.denominator(),
+            r.capacity.denominator()
+        );
+        assert!(
+            r.overall() > 0.75,
+            "{kb}KB {assoc}-way overall accuracy {}",
+            r.overall()
+        );
+    }
+}
+
+#[test]
+fn figure2_shape_partial_tags() {
+    // Saving only the low bits of the tag must (a) converge to the
+    // full-tag accuracy by ~8-12 bits and (b) err toward conflict at
+    // 1 bit (conflict accuracy high, capacity accuracy low).
+    let full = suite_accuracy(16, 1, TagBits::Full);
+    let twelve = suite_accuracy(16, 1, TagBits::Low(12));
+    let eight = suite_accuracy(16, 1, TagBits::Low(8));
+    let one = suite_accuracy(16, 1, TagBits::Low(1));
+
+    println!(
+        "full: c {:.1}/k {:.1} | 12-bit: c {:.1}/k {:.1} | 8-bit: c {:.1}/k {:.1} | 1-bit: c {:.1}/k {:.1}",
+        full.conflict.percent(),
+        full.capacity.percent(),
+        twelve.conflict.percent(),
+        twelve.capacity.percent(),
+        eight.conflict.percent(),
+        eight.capacity.percent(),
+        one.conflict.percent(),
+        one.capacity.percent()
+    );
+
+    // Paper: "10-12 bits should be sufficient for most applications" —
+    // 12 bits ≈ full (within 3 points on both classes).
+    assert!((twelve.conflict.value() - full.conflict.value()).abs() < 0.03);
+    assert!((twelve.capacity.value() - full.capacity.value()).abs() < 0.03);
+    // 8 bits loses only a little more.
+    assert!((eight.conflict.value() - full.conflict.value()).abs() < 0.08);
+    assert!((eight.capacity.value() - full.capacity.value()).abs() < 0.08);
+    // 1 bit: conflict accuracy at least as high as full (aliasing can
+    // only add conflict labels), capacity accuracy clearly lower.
+    assert!(one.conflict.value() >= full.conflict.value() - 0.01);
+    assert!(one.capacity.value() < full.capacity.value() - 0.05);
+    // Paper: even 1 bit excludes "nearly half of capacity misses";
+    // i.e. capacity accuracy stays well above zero.
+    assert!(
+        one.capacity.value() > 0.3,
+        "1-bit capacity accuracy {}",
+        one.capacity.value()
+    );
+}

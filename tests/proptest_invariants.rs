@@ -1,0 +1,195 @@
+//! Property-based tests of the core data structures' invariants,
+//! driven by arbitrary reference streams.
+
+use assist_buffer::AssistBuffer;
+use cache_model::oracle::{OracleClass, ThreeCClassifier};
+use cache_model::{CacheGeometry, SetAssocCache};
+use mct::{ClassifyingCache, MissClass, MissClassificationTable, TagBits};
+use proptest::prelude::*;
+use sim_core::LineAddr;
+use std::collections::HashSet;
+
+/// A compact address space so streams exercise collisions heavily.
+fn small_lines() -> impl Strategy<Value = Vec<LineAddr>> {
+    prop::collection::vec((0u64..64).prop_map(LineAddr::new), 1..600)
+}
+
+proptest! {
+    /// The cache never holds more lines than its capacity, never holds
+    /// a line twice, and `contains` agrees with fill/evict history.
+    #[test]
+    fn cache_capacity_and_uniqueness(refs in small_lines()) {
+        let geom = CacheGeometry::new(512, 2, 64).unwrap(); // 4 sets x 2 ways
+        let mut cache: SetAssocCache<u32> = SetAssocCache::new(geom);
+        for (i, &line) in refs.iter().enumerate() {
+            if cache.probe(line).is_none() {
+                cache.fill(line, i as u32);
+            }
+            prop_assert!(cache.len() <= geom.num_lines());
+            let mut seen = HashSet::new();
+            for (l, _) in cache.iter() {
+                prop_assert!(seen.insert(l), "line {l} resident twice");
+            }
+            prop_assert!(cache.contains(line), "line just accessed must be resident");
+        }
+    }
+
+    /// LRU: after any stream, the resident lines of a set are the most
+    /// recently used distinct lines mapping to it.
+    #[test]
+    fn lru_keeps_most_recent_per_set(refs in small_lines()) {
+        let geom = CacheGeometry::new(256, 2, 64).unwrap(); // 2 sets x 2 ways
+        let mut cache: SetAssocCache<()> = SetAssocCache::new(geom);
+        for &line in &refs {
+            if cache.probe(line).is_none() {
+                cache.fill(line, ());
+            }
+        }
+        for set in 0..geom.num_sets() {
+            // Most recent distinct lines of this set, newest first.
+            let mut expected = Vec::new();
+            for &line in refs.iter().rev() {
+                if geom.set_index(line) == set && !expected.contains(&line) {
+                    expected.push(line);
+                    if expected.len() == 2 {
+                        break;
+                    }
+                }
+            }
+            for line in expected {
+                prop_assert!(cache.contains(line), "{line} should have survived in set {set}");
+            }
+        }
+    }
+
+    /// The MCT classifies conflict exactly when the missing tag equals
+    /// the most recently evicted tag of the set — checked against a
+    /// naive reference model.
+    #[test]
+    fn mct_matches_reference_model(
+        ops in prop::collection::vec((0usize..8, 0u64..16, prop::bool::ANY), 1..300)
+    ) {
+        let mut table = MissClassificationTable::new(8, TagBits::Full);
+        let mut reference: [Option<u64>; 8] = [None; 8];
+        for (set, tag, is_eviction) in ops {
+            if is_eviction {
+                table.record_eviction(set, tag);
+                reference[set] = Some(tag);
+            } else {
+                let expected = if reference[set] == Some(tag) {
+                    MissClass::Conflict
+                } else {
+                    MissClass::Capacity
+                };
+                prop_assert_eq!(table.classify(set, tag), expected);
+            }
+        }
+    }
+
+    /// Partial tags can only turn capacity labels into conflict labels
+    /// (aliasing), never the reverse.
+    #[test]
+    fn partial_tags_only_add_conflicts(refs in small_lines()) {
+        let geom = CacheGeometry::new(256, 1, 64).unwrap();
+        let mut full = ClassifyingCache::new(geom, TagBits::Full);
+        let mut partial = ClassifyingCache::new(geom, TagBits::Low(2));
+        for &line in &refs {
+            let f = full.access(line);
+            let p = partial.access(line);
+            // Hit/miss behaviour is identical (classification does not
+            // change placement).
+            prop_assert_eq!(f.is_hit(), p.is_hit());
+            if let (Some(fm), Some(pm)) = (f.miss(), p.miss()) {
+                if fm.class == MissClass::Conflict {
+                    prop_assert_eq!(pm.class, MissClass::Conflict,
+                        "full-tag conflict must stay conflict under partial tags");
+                }
+            }
+        }
+    }
+
+    /// Oracle sanity: first touches are compulsory, and conflict
+    /// classifications only occur for lines that were re-referenced.
+    #[test]
+    fn oracle_compulsory_iff_first_touch(refs in small_lines()) {
+        let mut oracle = ThreeCClassifier::new(8);
+        let mut seen = HashSet::new();
+        for &line in &refs {
+            let class = oracle.observe(line);
+            let first = seen.insert(line);
+            prop_assert_eq!(class == OracleClass::Compulsory, first);
+        }
+    }
+
+    /// The classifying cache's hit/miss behaviour is identical to a
+    /// plain cache of the same geometry: the MCT is an observer, not
+    /// an actor.
+    #[test]
+    fn classifier_is_pure_observer(refs in small_lines()) {
+        let geom = CacheGeometry::new(512, 2, 64).unwrap();
+        let mut plain: SetAssocCache<()> = SetAssocCache::new(geom);
+        let mut classified = ClassifyingCache::new(geom, TagBits::Full);
+        for &line in &refs {
+            let plain_hit = if plain.probe(line).is_some() {
+                true
+            } else {
+                plain.fill(line, ());
+                false
+            };
+            prop_assert_eq!(plain_hit, classified.access(line).is_hit());
+        }
+    }
+
+    /// The assist buffer respects capacity and keeps exactly the most
+    /// recently inserted/probed lines.
+    #[test]
+    fn buffer_capacity_and_recency(
+        ops in prop::collection::vec((0u64..32, prop::bool::ANY), 1..300)
+    ) {
+        let mut buffer: AssistBuffer<u64> = AssistBuffer::new(4);
+        for (raw, probe) in ops {
+            let line = LineAddr::new(raw);
+            if probe {
+                let _ = buffer.probe(line);
+            } else {
+                buffer.insert(line, raw);
+            }
+            prop_assert!(buffer.len() <= 4);
+        }
+    }
+
+    /// Conflict misses identified by the MCT would hit in a cache with
+    /// one extra way warmed by the same history — the "near-miss"
+    /// property that defines the paper's classification.
+    #[test]
+    fn mct_conflicts_are_near_misses(refs in small_lines()) {
+        let geom = CacheGeometry::new(256, 1, 64).unwrap(); // 4 sets DM
+        let wider = CacheGeometry::new(512, 2, 64).unwrap(); // same sets, 2-way
+        let mut classified = ClassifyingCache::new(geom, TagBits::Full);
+        let mut two_way: SetAssocCache<()> = SetAssocCache::new(wider);
+        let mut dm_evictions = 0u64;
+        let mut conflict_but_2way_miss = 0u64;
+        for &line in &refs {
+            let outcome = classified.access(line);
+            let hit_2way = two_way.probe(line).is_some();
+            if !hit_2way {
+                two_way.fill(line, ());
+            }
+            if let Some(miss) = outcome.miss() {
+                dm_evictions += 1;
+                if miss.class == MissClass::Conflict && !hit_2way {
+                    conflict_but_2way_miss += 1;
+                }
+            }
+        }
+        // The 2-way cache has the same set count but twice the
+        // capacity and its own LRU state, so the property is not exact
+        // — but violations must be rare.
+        if dm_evictions > 50 {
+            prop_assert!(
+                conflict_but_2way_miss * 5 <= dm_evictions,
+                "{conflict_but_2way_miss} of {dm_evictions} conflict labels missed in 2-way"
+            );
+        }
+    }
+}
