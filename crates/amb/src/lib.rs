@@ -625,7 +625,11 @@ mod tests {
         // engage. The conflicts are covered all the same.
         let (sys, _) = run(AmbConfig::new(AmbPolicy::VictExcl), mixed(16_000));
         let s = sys.stats();
-        assert!(s.exclusion_hits > 1_000, "exclusion hits {}", s.exclusion_hits);
+        assert!(
+            s.exclusion_hits > 1_000,
+            "exclusion hits {}",
+            s.exclusion_hits
+        );
         assert_eq!(s.prefetches_issued, 0);
         assert!(
             s.total_hit_rate() > 0.8,
@@ -648,14 +652,17 @@ mod tests {
             t = sys.access(MemoryAccess::load(Addr::new(addr), pc), t).ready + 1;
         }
         // One of the pair now sits in the buffer with the Victim role.
-        assert!(sys.buffer.len() >= 1);
+        assert!(!sys.buffer.is_empty());
         let buffered = sys.buffer.iter().next().map(|(l, _)| l).unwrap();
         // Flood unrelated sets so the next miss on the buffered line
         // classifies capacity (MCT entry overwritten by... same set
         // is required; instead overwrite the MCT entry of its set
         // with an unrelated third line).
-        let third = buffered.raw() * 64 ^ (5 * CACHE);
-        t = sys.access(MemoryAccess::load(Addr::new(third), pc), t).ready + 1;
+        let third = (buffered.raw() * 64) ^ (5 * CACHE);
+        t = sys
+            .access(MemoryAccess::load(Addr::new(third), pc), t)
+            .ready
+            + 1;
         let before = sys.stats().victim_hits;
         t = sys
             .access(MemoryAccess::load(buffered.base_addr(64), pc), t)

@@ -2,70 +2,47 @@
 //! the corresponding experiment driver end to end (all workloads, all
 //! policies of that figure) at a reduced event count and reports the
 //! wall time of regenerating the artifact.
+//!
+//! All targets live in the `figures` group (`figures/fig1_…`), the
+//! end-to-end layer of the bench taxonomy; per-component costs are the
+//! `substrate` group in `substrate.rs`.
 
 use bench_suite::BENCH_EVENTS;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_fig1_accuracy(c: &mut Criterion) {
-    c.bench_function("fig1_accuracy_four_configs", |b| {
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("fig1_accuracy_four_configs", |b| {
         b.iter(|| black_box(experiments::fig1::run(black_box(BENCH_EVENTS))))
     });
-}
-
-fn bench_fig2_tag_bits(c: &mut Criterion) {
-    c.bench_function("fig2_tag_bit_sweep", |b| {
+    g.bench_function("fig2_tag_bit_sweep", |b| {
         b.iter(|| black_box(experiments::fig2::run(black_box(BENCH_EVENTS))))
     });
-}
-
-fn bench_fig3_victim(c: &mut Criterion) {
-    c.bench_function("fig3_tab1_victim_policies", |b| {
+    g.bench_function("fig3_tab1_victim_policies", |b| {
         b.iter(|| black_box(experiments::fig3::run(black_box(BENCH_EVENTS))))
     });
-}
-
-fn bench_fig4_prefetch(c: &mut Criterion) {
-    c.bench_function("fig4_prefetch_filters", |b| {
+    g.bench_function("fig4_prefetch_filters", |b| {
         b.iter(|| black_box(experiments::fig4::run(black_box(BENCH_EVENTS))))
     });
-}
-
-fn bench_fig5_exclusion(c: &mut Criterion) {
-    c.bench_function("fig5_exclusion_policies", |b| {
+    g.bench_function("fig5_exclusion_policies", |b| {
         b.iter(|| black_box(experiments::fig5::run(black_box(BENCH_EVENTS))))
     });
-}
-
-fn bench_sec54_pseudo(c: &mut Criterion) {
-    c.bench_function("sec54_pseudo_associative", |b| {
+    g.bench_function("sec54_pseudo_associative", |b| {
         b.iter(|| black_box(experiments::sec54::run(black_box(BENCH_EVENTS))))
     });
-}
-
-fn bench_fig6_amb(c: &mut Criterion) {
-    c.bench_function("fig6_fig7_adaptive_miss_buffer", |b| {
+    g.bench_function("fig6_fig7_adaptive_miss_buffer", |b| {
         b.iter(|| black_box(experiments::fig6::run(black_box(BENCH_EVENTS))))
     });
-}
-
-fn bench_ablation(c: &mut Criterion) {
-    c.bench_function("ablation_depth_window_buffer", |b| {
+    g.bench_function("ablation_depth_window_buffer", |b| {
         b.iter(|| black_box(experiments::ablation::run(black_box(BENCH_EVENTS / 2))))
     });
+    g.finish();
 }
 
 criterion_group! {
     name = figures;
     config = Criterion::default().sample_size(10);
-    targets =
-        bench_fig1_accuracy,
-        bench_fig2_tag_bits,
-        bench_fig3_victim,
-        bench_fig4_prefetch,
-        bench_fig5_exclusion,
-        bench_sec54_pseudo,
-        bench_fig6_amb,
-        bench_ablation,
+    targets = bench_figures,
 }
 criterion_main!(figures);

@@ -16,7 +16,7 @@ proptest! {
         let mut inflight: std::collections::HashMap<u64, u64> =
             std::collections::HashMap::new();
         for (line, advance, latency) in ops {
-            now = now + advance;
+            now += advance;
             inflight.retain(|_, ready| *ready > now.raw());
             let outcome = mshrs.request(LineAddr::new(line), now, now + latency);
             prop_assert!(mshrs.outstanding(now) <= 4);
@@ -47,7 +47,7 @@ proptest! {
         let mut now = Cycle::ZERO;
         let mut grants = Vec::new();
         for advance in requests {
-            now = now + advance;
+            now += advance;
             let grant = ports.acquire_any(now, 2);
             prop_assert!(grant >= now);
             grants.push(grant.raw());

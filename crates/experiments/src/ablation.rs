@@ -18,7 +18,7 @@ use sim_core::stats::GeoMean;
 use workloads::{full_suite, suite};
 
 use crate::table::{pct, speedup};
-use crate::{fig1, Table, SEED};
+use crate::{fig1, Table};
 
 /// Accuracy per (configuration, depth).
 #[derive(Debug, Clone)]
@@ -83,9 +83,10 @@ fn depth_sweep(events: usize) -> Vec<DepthPoint> {
         for w in full_suite() {
             let dir = ShadowDirectory::new(geom.num_sets(), TagBits::Full, depth);
             let mut eval = AccuracyEvaluator::with_classifier(geom, dir);
-            let mut src = w.source(SEED);
-            for _ in 0..events {
-                eval.observe(src.next_event().access.addr.line(geom.line_size()));
+            let trace = crate::trace_for(&w, events);
+            crate::telemetry::record_events(events as u64);
+            for event in trace.iter() {
+                eval.observe(event.access.addr.line(geom.line_size()));
             }
             total.merge(eval.report());
         }
@@ -108,9 +109,9 @@ fn window_sweep(events: usize) -> Vec<WindowPoint> {
         let mut mean = GeoMean::default();
         for w in &benchmarks {
             let run = |sys: &mut dyn cpu_model::MemorySystem| {
-                let mut src = w.source(SEED);
-                let trace = std::iter::from_fn(move || Some(src.next_event())).take(events);
-                cpu.run(&mut &mut *sys, trace)
+                let trace = crate::trace_for(w, events);
+                crate::telemetry::record_events(events as u64);
+                cpu.run(&mut &mut *sys, trace.iter().copied())
             };
             let mut base = BaselineSystem::paper_default().expect("paper config");
             let base_report = run(&mut base);
@@ -146,9 +147,9 @@ fn buffer_sweep(events: usize) -> Vec<BufferPoint> {
                 ..AmbConfig::new(AmbPolicy::VicPreExc)
             };
             let mut sys = AmbSystem::paper_default(cfg).expect("paper config");
-            let mut src = w.source(SEED);
-            let trace = std::iter::from_fn(move || Some(src.next_event())).take(events);
-            let report = cpu.run(&mut sys, trace);
+            let trace = crate::trace_for(w, events);
+            crate::telemetry::record_events(events as u64);
+            let report = cpu.run(&mut sys, trace.iter().copied());
             mean.push(report.speedup_over(base));
         }
         BufferPoint {
@@ -156,6 +157,18 @@ fn buffer_sweep(events: usize) -> Vec<BufferPoint> {
             speedup: mean.mean(),
         }
     })
+}
+
+/// Trace events the three ablations simulate: the depth sweep (one
+/// pass per configuration × depth × workload), the window sweep (a
+/// baseline and a VictPref run per window × workload), and the buffer
+/// sweep (shared baselines plus one run per size × workload).
+#[must_use]
+pub fn simulated_events(events: usize) -> u64 {
+    let depth = fig1::configurations().len() * DEPTHS.len() * full_suite().len();
+    let window = WINDOWS.len() * 2 * suite().len();
+    let buffer = (1 + BUFFERS.len()) * suite().len();
+    ((depth + window + buffer) * events) as u64
 }
 
 /// Runs all three ablations.

@@ -2,15 +2,31 @@
 //! the paper's evaluation.
 //!
 //! ```text
-//! repro [--events N] [fig1|fig2|fig3|tab1|fig4|fig5|sec54|sec56|fig6|fig7|ablation|all]
+//! repro [--events N] [--threads N] [--bench-json PATH] [TARGET ...]
 //! ```
+//!
+//! Independent figures run concurrently through the same deterministic
+//! scheduler the figures use internally, so the rendered tables are
+//! byte-identical at any thread count: each target's report is
+//! buffered and printed in request order once all targets finish.
+//! Throughput telemetry goes to stderr (and, with `--bench-json`, to a
+//! machine-readable `BENCH_repro.json`) — never to stdout.
 
 use std::env;
 use std::process::ExitCode;
+use std::time::Instant;
+
+use experiments::cli::{self, Target};
+use experiments::telemetry::{BenchReport, FigureBench};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--events N] [fig1|fig2|fig3|tab1|fig4|fig5|sec54|sec56|fig6|fig7|ablation|all]\n\
+        "usage: repro [--events N] [--threads N] [--bench-json PATH] \
+         [fig1|fig2|fig3|tab1|fig4|fig5|sec54|sec56|fig6|fig7|ablation|all]\n\
+         \n\
+         --events N       trace events per workload (default {})\n\
+         --threads N      worker-thread cap (1 = fully serial; default: all cores)\n\
+         --bench-json P   write machine-readable throughput telemetry to P\n\
          \n\
          fig1   MCT classification accuracy (4 cache configs)\n\
          fig2   accuracy vs saved tag bits\n\
@@ -23,59 +39,72 @@ fn usage() -> ExitCode {
          fig6   adaptive miss buffer (includes Figure 7)\n\
          fig7   alias for fig6\n\
          ablation  shadow-directory depth / CPU window / buffer size sweeps\n\
-         all    everything (default)"
+         all    everything (default)",
+        experiments::DEFAULT_EVENTS
     );
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
-    let mut events = experiments::DEFAULT_EVENTS;
-    let mut targets: Vec<String> = Vec::new();
-    let mut args = env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--events" => {
-                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
-                    eprintln!("--events needs a positive integer");
-                    return usage();
-                };
-                events = n;
+    let opts = match cli::parse_args(env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("repro: {msg}\n");
             }
-            "--help" | "-h" => return usage(),
-            other => targets.push(other.to_owned()),
+            return usage();
         }
-    }
-    if targets.is_empty() {
-        targets.push("all".to_owned());
+    };
+    if let Some(threads) = opts.threads {
+        sim_core::parallel::set_max_threads(threads);
     }
 
-    for target in &targets {
-        match target.as_str() {
-            "fig1" => println!("{}\n", experiments::fig1::run(events)),
-            "fig2" => println!("{}\n", experiments::fig2::run(events)),
-            "fig3" | "tab1" => println!("{}\n", experiments::fig3::run(events)),
-            "fig4" => println!("{}\n", experiments::fig4::run(events)),
-            "fig5" => println!("{}\n", experiments::fig5::run(events)),
-            "sec54" => println!("{}\n", experiments::sec54::run(events)),
-            "sec56" => println!("{}\n", experiments::sec56::run(events)),
-            "fig6" | "fig7" => println!("{}\n", experiments::fig6::run(events)),
-            "ablation" => println!("{}\n", experiments::ablation::run(events)),
-            "all" => {
-                println!("{}\n", experiments::fig1::run(events));
-                println!("{}\n", experiments::fig2::run(events));
-                println!("{}\n", experiments::fig3::run(events));
-                println!("{}\n", experiments::fig4::run(events));
-                println!("{}\n", experiments::fig5::run(events));
-                println!("{}\n", experiments::sec54::run(events));
-                println!("{}\n", experiments::sec56::run(events));
-                println!("{}\n", experiments::fig6::run(events));
-                println!("{}\n", experiments::ablation::run(events));
-            }
-            _ => {
-                eprintln!("unknown target: {target}");
-                return usage();
-            }
+    // Figure-level parallelism: independent targets overlap on the
+    // same scheduler the per-figure cell loops use. Reports are
+    // buffered (order-preserving) and printed afterwards, so stdout is
+    // byte-identical to a serial run.
+    let events = opts.events;
+    let total_start = Instant::now();
+    let results: Vec<(String, FigureBench)> =
+        experiments::par_map(opts.targets.clone(), |target: Target| {
+            let start = Instant::now();
+            let rendered = target.run(events);
+            let bench = FigureBench {
+                name: target.name(),
+                wall_seconds: start.elapsed().as_secs_f64(),
+                events: target.simulated_events(events),
+            };
+            (rendered, bench)
+        });
+    let total_wall_seconds = total_start.elapsed().as_secs_f64();
+
+    for (rendered, _) in &results {
+        println!("{rendered}\n");
+    }
+
+    let report = BenchReport {
+        threads: opts.threads.unwrap_or(0),
+        events_per_workload: events,
+        figures: results.into_iter().map(|(_, bench)| bench).collect(),
+        total_wall_seconds,
+    };
+    for figure in &report.figures {
+        eprintln!("{}", figure.summary_line());
+    }
+    eprintln!(
+        "[bench] total    {:>8.2}s  {:.1}M events/s  ({} events, {} worker threads)",
+        report.total_wall_seconds,
+        report.total_events_per_sec() / 1e6,
+        report.total_events(),
+        sim_core::parallel::effective_threads(usize::MAX),
+    );
+
+    if let Some(path) = &opts.bench_json {
+        if let Err(err) = std::fs::write(path, report.to_json()) {
+            eprintln!("repro: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
         }
+        eprintln!("[bench] wrote {}", path.display());
     }
     ExitCode::SUCCESS
 }

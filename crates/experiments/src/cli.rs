@@ -1,0 +1,280 @@
+//! Argument parsing and the figure-target registry for the `repro`
+//! harness.
+//!
+//! Lives in the library (rather than the binary) so the parser and the
+//! per-figure event accounting are unit-testable and reusable by other
+//! harnesses (benches, future services).
+
+use std::path::PathBuf;
+
+/// One runnable repro target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Figure 1: MCT classification accuracy.
+    Fig1,
+    /// Figure 2: accuracy vs saved tag bits.
+    Fig2,
+    /// Figure 3 + Table 1: victim-cache policies.
+    Fig3,
+    /// Figure 4: next-line prefetch filters.
+    Fig4,
+    /// Figure 5: cache-exclusion policies.
+    Fig5,
+    /// §5.4: pseudo-associative cache.
+    Sec54,
+    /// §5.6: co-scheduling on a shared cache.
+    Sec56,
+    /// Figures 6 + 7: adaptive miss buffer.
+    Fig6,
+    /// Extension ablations: shadow depth, CPU window, buffer size.
+    Ablation,
+}
+
+impl Target {
+    /// All targets, in the paper's order — what `all` expands to.
+    pub const ALL: [Target; 9] = [
+        Target::Fig1,
+        Target::Fig2,
+        Target::Fig3,
+        Target::Fig4,
+        Target::Fig5,
+        Target::Sec54,
+        Target::Sec56,
+        Target::Fig6,
+        Target::Ablation,
+    ];
+
+    /// Canonical name (as printed in telemetry and `BENCH_repro.json`).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Target::Fig1 => "fig1",
+            Target::Fig2 => "fig2",
+            Target::Fig3 => "fig3",
+            Target::Fig4 => "fig4",
+            Target::Fig5 => "fig5",
+            Target::Sec54 => "sec54",
+            Target::Sec56 => "sec56",
+            Target::Fig6 => "fig6",
+            Target::Ablation => "ablation",
+        }
+    }
+
+    /// Parses a target name, accepting the paper's aliases (`tab1` is
+    /// part of the Figure 3 driver, `fig7` of the Figure 6 driver).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Target> {
+        Some(match name {
+            "fig1" => Target::Fig1,
+            "fig2" => Target::Fig2,
+            "fig3" | "tab1" => Target::Fig3,
+            "fig4" => Target::Fig4,
+            "fig5" => Target::Fig5,
+            "sec54" => Target::Sec54,
+            "sec56" => Target::Sec56,
+            "fig6" | "fig7" => Target::Fig6,
+            "ablation" => Target::Ablation,
+            _ => return None,
+        })
+    }
+
+    /// Runs the driver and renders its report exactly as `repro`
+    /// prints it (one trailing newline added by the caller).
+    #[must_use]
+    pub fn run(self, events: usize) -> String {
+        match self {
+            Target::Fig1 => crate::fig1::run(events).to_string(),
+            Target::Fig2 => crate::fig2::run(events).to_string(),
+            Target::Fig3 => crate::fig3::run(events).to_string(),
+            Target::Fig4 => crate::fig4::run(events).to_string(),
+            Target::Fig5 => crate::fig5::run(events).to_string(),
+            Target::Sec54 => crate::sec54::run(events).to_string(),
+            Target::Sec56 => crate::sec56::run(events).to_string(),
+            Target::Fig6 => crate::fig6::run(events).to_string(),
+            Target::Ablation => crate::ablation::run(events).to_string(),
+        }
+    }
+
+    /// Trace events the driver feeds its simulators for a given
+    /// `--events` setting (cells × events). The formulas live next to
+    /// each driver and are cross-checked against the live
+    /// [`crate::telemetry`] counter by `tests/determinism.rs`.
+    #[must_use]
+    pub fn simulated_events(self, events: usize) -> u64 {
+        match self {
+            Target::Fig1 => crate::fig1::simulated_events(events),
+            Target::Fig2 => crate::fig2::simulated_events(events),
+            Target::Fig3 => crate::fig3::simulated_events(events),
+            Target::Fig4 => crate::fig4::simulated_events(events),
+            Target::Fig5 => crate::fig5::simulated_events(events),
+            Target::Sec54 => crate::sec54::simulated_events(events),
+            Target::Sec56 => crate::sec56::simulated_events(events),
+            Target::Fig6 => crate::fig6::simulated_events(events),
+            Target::Ablation => crate::ablation::simulated_events(events),
+        }
+    }
+}
+
+/// Parsed `repro` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Events per workload (strictly positive).
+    pub events: usize,
+    /// Worker-thread cap (`None` = all cores).
+    pub threads: Option<usize>,
+    /// Where to write the machine-readable bench report, if anywhere.
+    pub bench_json: Option<PathBuf>,
+    /// Targets to run, in order.
+    pub targets: Vec<Target>,
+}
+
+/// Parses `repro` arguments (without the program name).
+///
+/// Rejects non-positive or malformed `--events` explicitly — `--events
+/// 0` used to slip through and silently run every experiment over
+/// empty traces.
+pub fn parse_args<I>(args: I) -> Result<Options, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut events = crate::DEFAULT_EVENTS;
+    let mut threads = None;
+    let mut bench_json = None;
+    let mut targets = Vec::new();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--events" => {
+                let value = args.next().ok_or("--events needs a value")?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("--events needs a positive integer, got `{value}`"))?;
+                if n == 0 {
+                    return Err(
+                        "--events 0 would run every experiment over an empty trace; \
+                         pass a positive event count"
+                            .to_owned(),
+                    );
+                }
+                events = n;
+            }
+            "--threads" => {
+                let value = args.next().ok_or("--threads needs a value")?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("--threads needs a positive integer, got `{value}`"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1 (1 = serial)".to_owned());
+                }
+                threads = Some(n);
+            }
+            "--bench-json" => {
+                let value = args.next().ok_or("--bench-json needs a path")?;
+                bench_json = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            "all" => targets.extend(Target::ALL),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            other => {
+                let target =
+                    Target::parse(other).ok_or_else(|| format!("unknown target: {other}"))?;
+                targets.push(target);
+            }
+        }
+    }
+    if targets.is_empty() {
+        targets.extend(Target::ALL);
+    }
+    Ok(Options {
+        events,
+        threads,
+        bench_json,
+        targets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults_to_all_targets() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.events, crate::DEFAULT_EVENTS);
+        assert_eq!(opts.targets, Target::ALL.to_vec());
+        assert_eq!(opts.threads, None);
+        assert_eq!(opts.bench_json, None);
+    }
+
+    #[test]
+    fn rejects_zero_events() {
+        let err = parse(&["--events", "0"]).unwrap_err();
+        assert!(err.contains("empty trace"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_malformed_events() {
+        assert!(parse(&["--events", "many"]).is_err());
+        assert!(parse(&["--events", "-5"]).is_err());
+        assert!(parse(&["--events"]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_threads_and_unknown_flags() {
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["fig9"]).is_err());
+    }
+
+    #[test]
+    fn parses_full_invocation() {
+        let opts = parse(&[
+            "--events",
+            "5000",
+            "--threads",
+            "3",
+            "--bench-json",
+            "out/BENCH_repro.json",
+            "fig3",
+            "fig7",
+        ])
+        .unwrap();
+        assert_eq!(opts.events, 5000);
+        assert_eq!(opts.threads, Some(3));
+        assert_eq!(
+            opts.bench_json.as_deref(),
+            Some(std::path::Path::new("out/BENCH_repro.json"))
+        );
+        assert_eq!(opts.targets, vec![Target::Fig3, Target::Fig6]);
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!(Target::parse("tab1"), Some(Target::Fig3));
+        assert_eq!(Target::parse("fig7"), Some(Target::Fig6));
+        for t in Target::ALL {
+            assert_eq!(
+                Target::parse(t.name()),
+                Some(t),
+                "{} must round-trip",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn event_formulas_scale_linearly() {
+        for t in Target::ALL {
+            let one = t.simulated_events(1_000);
+            let two = t.simulated_events(2_000);
+            assert_eq!(two, one * 2, "{}", t.name());
+            assert!(one > 0, "{}", t.name());
+        }
+    }
+}

@@ -11,7 +11,7 @@ use mct::TagBits;
 use workloads::{full_suite, Workload};
 
 use crate::table::pct;
-use crate::{Table, SEED};
+use crate::Table;
 
 /// One cache configuration's results.
 #[derive(Debug, Clone)]
@@ -57,11 +57,19 @@ pub fn configurations() -> Vec<(String, CacheGeometry)> {
 
 fn evaluate(workload: &Workload, geom: CacheGeometry, events: usize) -> AccuracyReport {
     let mut eval = AccuracyEvaluator::new(geom, TagBits::Full);
-    let mut src = workload.source(SEED);
-    for _ in 0..events {
-        eval.observe(src.next_event().access.addr.line(geom.line_size()));
+    let trace = crate::trace_for(workload, events);
+    crate::telemetry::record_events(events as u64);
+    for event in trace.iter() {
+        eval.observe(event.access.addr.line(geom.line_size()));
     }
     eval.finish()
+}
+
+/// Trace events this figure simulates: one pass per (configuration,
+/// workload) cell.
+#[must_use]
+pub fn simulated_events(events: usize) -> u64 {
+    (configurations().len() * full_suite().len() * events) as u64
 }
 
 /// Runs the Figure 1 experiment with `events` references per

@@ -12,7 +12,7 @@ use mct::TagBits;
 use workloads::full_suite;
 
 use crate::table::pct;
-use crate::{Table, SEED};
+use crate::Table;
 
 /// One point of the tag-bit sweep.
 #[derive(Debug, Clone)]
@@ -52,9 +52,10 @@ pub fn run(events: usize) -> Fig2 {
         let mut total = AccuracyReport::default();
         for w in full_suite() {
             let mut eval = AccuracyEvaluator::new(geom, bits);
-            let mut src = w.source(SEED);
-            for _ in 0..events {
-                eval.observe(src.next_event().access.addr.line(64));
+            let trace = crate::trace_for(&w, events);
+            crate::telemetry::record_events(events as u64);
+            for event in trace.iter() {
+                eval.observe(event.access.addr.line(64));
             }
             total.merge(eval.report());
         }
@@ -64,6 +65,13 @@ pub fn run(events: usize) -> Fig2 {
         }
     });
     Fig2 { points, events }
+}
+
+/// Trace events this figure simulates: one pass per (tag-width,
+/// workload) cell.
+#[must_use]
+pub fn simulated_events(events: usize) -> u64 {
+    (widths().len() * full_suite().len() * events) as u64
 }
 
 impl std::fmt::Display for Fig2 {

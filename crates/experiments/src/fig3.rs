@@ -38,6 +38,13 @@ pub struct Fig3 {
     pub events: usize,
 }
 
+/// Trace events this figure simulates: the no-victim baseline plus
+/// one run per victim policy, per workload.
+#[must_use]
+pub fn simulated_events(events: usize) -> u64 {
+    ((1 + VictimPolicy::ALL.len()) * suite().len() * events) as u64
+}
+
 fn run_baseline(w: &Workload, events: usize) -> (CpuReport, f64) {
     let mut sys = BaselineSystem::paper_default().expect("paper config");
     let report = drive(&mut sys, w, events);

@@ -14,7 +14,7 @@ use sim_core::stats::GeoMean;
 use workloads::{suite, Workload};
 
 use crate::table::{pct, speedup};
-use crate::{Table, SEED};
+use crate::Table;
 
 /// Results for one prefetch strategy.
 #[derive(Debug, Clone)]
@@ -54,9 +54,16 @@ fn drive_slow_bus<M: cpu_model::MemorySystem>(
     events: usize,
 ) -> CpuReport {
     let cpu = OooModel::new(CpuConfig::paper_default());
-    let mut source = workload.source(SEED);
-    let trace = std::iter::from_fn(move || Some(source.next_event())).take(events);
-    cpu.run(system, trace)
+    let trace = crate::trace_for(workload, events);
+    crate::telemetry::record_events(events as u64);
+    cpu.run(system, trace.iter().copied())
+}
+
+/// Trace events this figure simulates: the no-prefetch baseline plus
+/// one run per strategy, per workload.
+#[must_use]
+pub fn simulated_events(events: usize) -> u64 {
+    ((1 + strategies().len()) * suite().len() * events) as u64
 }
 
 /// A no-prefetch baseline on the slow-bus system.

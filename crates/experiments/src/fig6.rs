@@ -40,16 +40,27 @@ pub struct Fig6 {
     pub events: usize,
 }
 
+/// Trace events this figure simulates: the no-buffer baseline plus
+/// one run per (policy, buffer-size) cell, per workload.
+#[must_use]
+pub fn simulated_events(events: usize) -> u64 {
+    ((1 + 2 * AmbPolicy::ALL.len()) * suite().len() * events) as u64
+}
+
 /// Runs the Figures 6 + 7 experiment.
 #[must_use]
 pub fn run(events: usize) -> Fig6 {
     let benchmarks = suite();
+    let baseline_cells: Vec<(CpuReport, f64)> = crate::par_map(benchmarks.clone(), |w| {
+        let mut sys = BaselineSystem::paper_default().expect("paper config");
+        let report = drive(&mut sys, &w, events);
+        (report, sys.l1_stats().hit_rate())
+    });
     let mut baselines: Vec<CpuReport> = Vec::new();
     let mut base_hr = 0.0;
-    for w in &benchmarks {
-        let mut sys = BaselineSystem::paper_default().expect("paper config");
-        baselines.push(drive(&mut sys, w, events));
-        base_hr += sys.l1_stats().hit_rate();
+    for (report, hr) in baseline_cells {
+        baselines.push(report);
+        base_hr += hr;
     }
     let baseline_hit_rate = base_hr / benchmarks.len() as f64;
 

@@ -15,6 +15,14 @@
 //! | [`sec56`] | §5.6 | co-scheduling on a shared cache, ranked by MCT conflict rate |
 //! | [`ablation`] | (extensions) | shadow-directory depth, CPU window, buffer size |
 //!
+//! Two infrastructure modules serve the `repro` harness: [`cli`]
+//! (argument parsing and the figure-target registry) and [`telemetry`]
+//! (per-figure wall time, events/sec, and the machine-readable
+//! `BENCH_repro.json` the perf trajectory is tracked with). Workload
+//! traces are materialized once per `(workload, seed, events)` in the
+//! shared [`trace_gen::arena`] — see [`trace_for`] — and replayed by
+//! every cell, so no driver pays trace synthesis more than once.
+//!
 //! Every driver takes the number of trace events per workload, so the
 //! same code serves quick smoke tests, Criterion benches, and the full
 //! `repro` runs. Absolute numbers differ from the paper (the substrate
@@ -34,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod cli;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -43,8 +52,14 @@ pub mod fig6;
 pub mod sec54;
 pub mod sec56;
 mod table;
+pub mod telemetry;
 
 pub use table::Table;
+
+use std::sync::Arc;
+
+use trace_gen::arena::{ArenaKey, TraceArena};
+use trace_gen::TraceEvent;
 
 /// Default events per workload for full experiment runs.
 pub const DEFAULT_EVENTS: usize = 300_000;
@@ -53,64 +68,48 @@ pub const DEFAULT_EVENTS: usize = 300_000;
 /// workloads crate).
 pub const SEED: u64 = 1;
 
-/// Maps `f` over `items` on scoped threads, preserving order.
-///
-/// Every experiment iterates independent (workload, policy) cells;
-/// this fans them out across cores without touching determinism —
-/// each cell owns its own simulator state and RNG.
-pub(crate) fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
-    let n = items.len();
-    if n <= 1 || threads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = std::sync::Mutex::new(work);
-    let f = &f;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..threads.min(n) {
-            handles.push(scope.spawn(|| {
-                let mut results = Vec::new();
-                loop {
-                    let next = queue.lock().expect("queue lock").pop();
-                    match next {
-                        Some((idx, item)) => results.push((idx, f(item))),
-                        None => break,
-                    }
-                }
-                results
-            }));
-        }
-        for h in handles {
-            for (idx, r) in h.join().expect("worker panicked") {
-                slots[idx] = Some(r);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("all slots filled"))
-        .collect()
+/// Maps `f` over independent experiment cells on scoped threads,
+/// preserving order — a thin re-export of [`sim_core::parallel`], the
+/// workspace's one scheduler implementation. Thread count is
+/// controlled by `repro --threads` / `SIM_THREADS` /
+/// [`sim_core::parallel::set_max_threads`]; results are identical at
+/// any thread count because every cell owns its simulator state and
+/// its (replayed) trace.
+pub use sim_core::parallel::par_map;
+
+/// The shared trace for `(workload, SEED, events)`, materialized once
+/// in the global [`TraceArena`] and replayed by every cell that needs
+/// it. Replay is bit-identical to streaming the workload's generator.
+#[must_use]
+pub fn trace_for(workload: &workloads::Workload, events: usize) -> Arc<[TraceEvent]> {
+    trace_for_seed(workload, SEED, events)
+}
+
+/// [`trace_for`] with an explicit seed (§5.6 uses `SEED + 1` for the
+/// co-scheduled partner thread).
+#[must_use]
+pub fn trace_for_seed(
+    workload: &workloads::Workload,
+    seed: u64,
+    events: usize,
+) -> Arc<[TraceEvent]> {
+    TraceArena::global().get_or_materialize(ArenaKey::new(workload.name(), seed, events), || {
+        workload.source(seed)
+    })
 }
 
 /// Runs a workload trace through a memory system under the paper's
-/// CPU model, returning the timing report.
+/// CPU model, returning the timing report. The trace is replayed from
+/// the shared arena, not regenerated.
 pub(crate) fn drive<M: cpu_model::MemorySystem>(
     system: &mut M,
     workload: &workloads::Workload,
     events: usize,
 ) -> cpu_model::CpuReport {
     let cpu = cpu_model::OooModel::new(cpu_model::CpuConfig::paper_default());
-    let mut source = workload.source(SEED);
-    let trace = std::iter::from_fn(move || Some(source.next_event())).take(events);
-    cpu.run(system, trace)
+    let trace = trace_for(workload, events);
+    telemetry::record_events(events as u64);
+    cpu.run(system, trace.iter().copied())
 }
 
 #[cfg(test)]

@@ -45,6 +45,13 @@ pub struct Sec54 {
     pub events: usize,
 }
 
+/// Trace events this section simulates: four runs (DM, base pseudo,
+/// modified pseudo, true 2-way) per workload.
+#[must_use]
+pub fn simulated_events(events: usize) -> u64 {
+    (4 * suite().len() * events) as u64
+}
+
 /// Runs the §5.4 experiment.
 #[must_use]
 pub fn run(events: usize) -> Sec54 {

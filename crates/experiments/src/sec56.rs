@@ -69,10 +69,10 @@ pub fn jobs() -> Vec<Workload> {
 }
 
 fn thread_trace(w: &Workload, seed: u64, events: usize, offset: u64) -> Vec<TraceEvent> {
-    let mut src = w.source(seed);
-    (0..events)
-        .map(|_| {
-            let mut e = src.next_event();
+    let base = crate::trace_for_seed(w, seed, events);
+    base.iter()
+        .map(|e| {
+            let mut e = *e;
             // Distinct processes live in distinct address spaces.
             e.access.addr = Addr::new(e.access.addr.raw() ^ offset);
             e
@@ -84,8 +84,19 @@ fn thread_trace(w: &Workload, seed: u64, events: usize, offset: u64) -> Vec<Trac
 fn solo_run(trace: &[TraceEvent]) -> (f64, f64) {
     let mut sys = BaselineSystem::paper_default().expect("paper config");
     let cpu = OooModel::new(CpuConfig::paper_default());
+    crate::telemetry::record_events(trace.len() as u64);
     let report = cpu.run(&mut sys, trace.iter().copied());
     (sys.l1_stats().miss_rate(), report.ipc())
+}
+
+/// Trace events this section simulates: one solo run per thread trace
+/// (two per job), then per pairing a two-thread SMT run plus the MCT
+/// accounting pass over both interleaved traces.
+#[must_use]
+pub fn simulated_events(events: usize) -> u64 {
+    let n = jobs().len();
+    let pairs = n * (n + 1) / 2;
+    ((2 * n + 4 * pairs) * events) as u64
 }
 
 /// Runs the co-scheduling study with `events` references per thread.
@@ -111,7 +122,9 @@ pub fn run(events: usize) -> Sec56 {
     }
     let mut pairings = crate::par_map(cells, |(i, j)| {
         {
-            // Timed SMT run on a shared baseline L1.
+            // Timed SMT run on a shared baseline L1, plus the MCT
+            // accounting pass: four trace replays per pairing.
+            crate::telemetry::record_events(4 * events as u64);
             let mut shared = BaselineSystem::paper_default().expect("paper config");
             let smt = SmtModel::new(CpuConfig::paper_default());
             let report = smt.run(

@@ -1,0 +1,260 @@
+//! Throughput telemetry for the repro pipeline.
+//!
+//! Every figure driver is timed by the `repro` harness; this module
+//! holds the shared event counter the drivers feed, the per-figure
+//! [`FigureBench`] records, and the [`BenchReport`] written as
+//! `BENCH_repro.json` by `repro --bench-json` so successive PRs can
+//! track the pipeline's events/sec trajectory.
+//!
+//! Timing never touches experiment *output*: tables go to stdout and
+//! stay byte-identical run to run; telemetry goes to stderr and the
+//! JSON file. The JSON is hand-rolled (the workspace builds offline,
+//! with no serde_json) against the stable schema documented in
+//! EXPERIMENTS.md §"Runtime & throughput".
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use trace_gen::arena::TraceArena;
+
+/// Trace events fed into any simulator or classifier since process
+/// start, across all threads.
+static EVENTS_SIMULATED: AtomicU64 = AtomicU64::new(0);
+
+/// Records `n` simulated events. Called by every driver's inner loop
+/// (via `drive` or directly); the per-figure formulas in
+/// [`crate::cli::Target::simulated_events`] are cross-checked against
+/// this counter in tests.
+pub fn record_events(n: u64) {
+    EVENTS_SIMULATED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total events recorded so far.
+#[must_use]
+pub fn events_simulated() -> u64 {
+    EVENTS_SIMULATED.load(Ordering::Relaxed)
+}
+
+/// One figure driver's measured run.
+#[derive(Debug, Clone)]
+pub struct FigureBench {
+    /// Target name (`fig1`, …, `ablation`).
+    pub name: &'static str,
+    /// Wall time of the driver, seconds.
+    pub wall_seconds: f64,
+    /// Trace events the driver simulated (cells × events/workload).
+    pub events: u64,
+}
+
+impl FigureBench {
+    /// Simulated events per wall second.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// The stderr progress line the harness prints.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "[bench] {:<8} {:>8.2}s  {:>8} events/s  ({} events)",
+            self.name,
+            self.wall_seconds,
+            si_rate(self.events_per_sec()),
+            self.events
+        )
+    }
+}
+
+/// The full machine-readable run record.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Worker threads the scheduler was allowed (0 = automatic).
+    pub threads: usize,
+    /// `--events` per workload.
+    pub events_per_workload: usize,
+    /// Per-figure measurements, in run order.
+    pub figures: Vec<FigureBench>,
+    /// Wall time of the whole harness run, seconds (includes arena
+    /// materialization and overlap between figures, so it can be less
+    /// than the sum of the per-figure times when figures run
+    /// concurrently).
+    pub total_wall_seconds: f64,
+}
+
+impl BenchReport {
+    /// Total events across all figures.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.figures.iter().map(|f| f.events).sum()
+    }
+
+    /// Aggregate events per wall second.
+    #[must_use]
+    pub fn total_events_per_sec(&self) -> f64 {
+        if self.total_wall_seconds > 0.0 {
+            self.total_events() as f64 / self.total_wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the report as the `BENCH_repro.json` document.
+    ///
+    /// Schema (`bench-repro/1`): see EXPERIMENTS.md §"Runtime &
+    /// throughput" for field semantics.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let arena = TraceArena::global().stats();
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"bench-repro/1\",\n");
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(
+            out,
+            "  \"events_per_workload\": {},",
+            self.events_per_workload
+        );
+        out.push_str("  \"figures\": [\n");
+        for (i, f) in self.figures.iter().enumerate() {
+            let comma = if i + 1 < self.figures.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": {}, \"wall_seconds\": {}, \"events\": {}, \"events_per_sec\": {}}}{comma}",
+                json_string(f.name),
+                json_f64(f.wall_seconds),
+                f.events,
+                json_f64(f.events_per_sec()),
+            );
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(
+            out,
+            "  \"total\": {{\"wall_seconds\": {}, \"events\": {}, \"events_per_sec\": {}}},",
+            json_f64(self.total_wall_seconds),
+            self.total_events(),
+            json_f64(self.total_events_per_sec()),
+        );
+        let _ = writeln!(
+            out,
+            "  \"arena\": {{\"traces\": {}, \"resident_events\": {}, \"replay_hits\": {}, \"materializations\": {}}}",
+            arena.traces, arena.resident_events, arena.hits, arena.misses,
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Formats a rate as a short SI string (`28.1M`, `950k`).
+fn si_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.1}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.0}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+/// A finite f64 as a JSON number (6 significant decimals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// A JSON string literal with the mandatory escapes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let before = events_simulated();
+        record_events(123);
+        record_events(877);
+        assert_eq!(events_simulated() - before, 1_000);
+    }
+
+    #[test]
+    fn rates_and_lines_render() {
+        let f = FigureBench {
+            name: "fig1",
+            wall_seconds: 2.0,
+            events: 50_000_000,
+        };
+        assert!((f.events_per_sec() - 25_000_000.0).abs() < 1e-6);
+        assert!(f.summary_line().contains("fig1"));
+        assert!(f.summary_line().contains("25.0M"));
+        let zero = FigureBench {
+            name: "z",
+            wall_seconds: 0.0,
+            events: 5,
+        };
+        assert_eq!(zero.events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_balanced() {
+        let report = BenchReport {
+            threads: 4,
+            events_per_workload: 1000,
+            figures: vec![
+                FigureBench {
+                    name: "fig1",
+                    wall_seconds: 1.5,
+                    events: 72_000,
+                },
+                FigureBench {
+                    name: "fig3",
+                    wall_seconds: 0.5,
+                    events: 60_000,
+                },
+            ],
+            total_wall_seconds: 2.0,
+        };
+        let json = report.to_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"schema\": \"bench-repro/1\""));
+        assert!(json.contains("\"events\": 132000"));
+        assert!(json.contains("\"threads\": 4"));
+        // No trailing commas before closers.
+        assert!(!json.contains(",\n  ]") && !json.contains(",\n}"));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\u000ay\"");
+    }
+}

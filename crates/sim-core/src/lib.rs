@@ -9,6 +9,8 @@
 //! * [`Cycle`] — simulated time;
 //! * [`rng`] — small, seedable, version-stable PRNGs
 //!   ([`rng::SplitMix64`], [`rng::XorShift64Star`]);
+//! * [`parallel`] — the order-preserving fork/join scheduler every
+//!   experiment fans independent cells out with;
 //! * [`stats`] — counters, ratios and accumulators used to report
 //!   hit rates and speedups.
 //!
@@ -28,6 +30,7 @@
 
 mod addr;
 mod cycle;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 

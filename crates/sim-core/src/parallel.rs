@@ -1,0 +1,192 @@
+//! Deterministic fork/join parallelism for independent simulation
+//! cells.
+//!
+//! Every experiment in this workspace iterates *independent* work
+//! items — (workload, policy) cells, tag-width sweep points, whole
+//! figures — where each item owns its simulator state and RNG, so
+//! fanning items across cores cannot change any result. [`par_map`]
+//! is the one scheduler for all of them: an **atomic-index chunked
+//! scheduler** on scoped threads. A shared atomic counter hands out
+//! chunks of consecutive item indices; workers claim a chunk with one
+//! `fetch_add`, process it, and come back for more. Compared with a
+//! `Mutex<Vec>` work queue this removes the contended lock from the
+//! steady state (one atomic RMW per *chunk*, not one lock round-trip
+//! per *item*) while still load-balancing uneven items.
+//!
+//! Results are returned **in input order** regardless of which thread
+//! computed what, so callers observe exactly the serial semantics —
+//! the basis for the repo's byte-identical serial-vs-parallel
+//! guarantee.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`]
+//! and can be pinned — globally with [`set_max_threads`] (or the
+//! `SIM_THREADS` environment variable read at first use), or per call
+//! with [`par_map_threads`]. Pinning to 1 runs inline on the caller's
+//! thread with no spawns at all.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = sim_core::parallel::par_map(vec![1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Global worker-count override: 0 = automatic.
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+/// Set once from the `SIM_THREADS` environment variable.
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+/// Pins the number of worker threads every subsequent [`par_map`]
+/// uses. `0` restores the default (all available cores). Intended for
+/// harnesses (`repro --threads N`) and determinism tests; per-call
+/// control is [`par_map_threads`].
+pub fn set_max_threads(threads: usize) {
+    MAX_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The worker count [`par_map`] will use for `n` items: the explicit
+/// override ([`set_max_threads`] or `SIM_THREADS`), else available
+/// parallelism, capped at `n`.
+#[must_use]
+pub fn effective_threads(n: usize) -> usize {
+    let pinned = match MAX_THREADS.load(Ordering::Relaxed) {
+        0 => *ENV_THREADS.get_or_init(|| {
+            std::env::var("SIM_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&t| t > 0)
+        }),
+        t => Some(t),
+    };
+    let threads = pinned.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+    });
+    threads.clamp(1, n.max(1))
+}
+
+/// Maps `f` over `items` on scoped worker threads, preserving input
+/// order. Uses the global thread setting (see [`set_max_threads`]).
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = effective_threads(items.len());
+    par_map_threads(threads, items, f)
+}
+
+/// [`par_map`] with an explicit worker count. `threads <= 1` runs
+/// serially on the calling thread (no spawns), which is the reference
+/// order every parallel run must reproduce bit-for-bit.
+pub fn par_map_threads<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 || threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let threads = threads.min(n);
+
+    // Chunks of consecutive indices, sized so each worker sees several
+    // chunks (load balancing) without making the atomic counter hot.
+    let chunk = (n / (threads * 4)).max(1);
+    let mut remaining: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let mut chunks: Vec<Mutex<Vec<(usize, T)>>> = Vec::with_capacity(n.div_ceil(chunk));
+    while !remaining.is_empty() {
+        let rest = remaining.split_off(chunk.min(remaining.len()));
+        chunks.push(Mutex::new(remaining));
+        remaining = rest;
+    }
+    let next_chunk = AtomicUsize::new(0);
+
+    let f = &f;
+    let chunks = &chunks;
+    let next_chunk = &next_chunk;
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(c) else { break };
+                        // Uncontended by construction: each chunk index
+                        // is claimed by exactly one worker.
+                        let work = std::mem::take(&mut *chunk.lock().expect("chunk lock"));
+                        for (idx, item) in work {
+                            out.push((idx, f(item)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (idx, r) in h.join().expect("worker panicked") {
+                slots[idx] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_matches_serial() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = par_map_threads(threads, items.clone(), |x| x * 3 + 1);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(empty, |x| x).is_empty());
+        assert_eq!(par_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = par_map_threads(32, vec![1, 2, 3], |x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Items with wildly different costs exercise chunk stealing.
+        let out = par_map_threads(4, (0u64..97).collect(), |x| {
+            let mut acc = x;
+            for _ in 0..(x % 13) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn effective_threads_respects_item_count() {
+        assert_eq!(effective_threads(0), 1);
+        assert_eq!(effective_threads(1), 1);
+        assert!(effective_threads(1000) >= 1);
+    }
+}

@@ -7,6 +7,11 @@
 //! instructions the processor executes before it (so the timing model
 //! can charge pipeline work between accesses).
 //!
+//! Streams that are replayed many times (every experiment driver
+//! evaluates many policies over the same workload trace) should go
+//! through the memoizing [`arena`] instead of re-running a generator
+//! per consumer.
+//!
 //! # Examples
 //!
 //! Build a stream that sweeps a 64 KB array, and look at its first
@@ -26,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod event;
 pub mod pattern;
 mod record;

@@ -1,0 +1,322 @@
+//! Offline mini [proptest](https://proptest-rs.github.io/proptest/):
+//! a self-contained property-testing harness implementing the subset
+//! of the proptest API this workspace's tests use, so the suite runs
+//! in environments with no crates.io access.
+//!
+//! Supported surface:
+//!
+//! * [`Strategy`] over integer ranges (`0u64..64`), tuples of
+//!   strategies, [`collection::vec`], [`bool::ANY`], and
+//!   [`Strategy::prop_map`];
+//! * the [`proptest!`] macro, including a leading
+//!   `#![proptest_config(..)]` attribute;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`]
+//!   (plain assertions — a failure panics immediately).
+//!
+//! Differences from real proptest: inputs are drawn from a fixed
+//! per-test seed (every run replays the identical cases, which suits
+//! this repository's determinism-first philosophy), and there is no
+//! shrinking — a failing case prints its case index so it can be
+//! reproduced directly.
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+/// Deterministic generator state (SplitMix64), seeded per test from
+/// the test's name so cases are stable across runs and machines.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates the RNG for a named test. The name is hashed (FNV-1a)
+    /// so every test draws an independent, reproducible stream.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A source of arbitrary values of one type.
+///
+/// Mirrors proptest's `Strategy`, reduced to direct sampling: no
+/// value trees, no shrinking.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! { (A, B) (A, B, C) (A, B, C, D) }
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+
+    /// A `Vec` strategy: `len` elements drawn from `element`, with the
+    /// length itself drawn from the given range.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over booleans.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// The type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Draws `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+
+        fn sample(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases drawn per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` that draws `config.cases` inputs and runs the
+/// body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let _case_guard = $crate::CaseGuard::new(stringify!($name), case);
+                    let ($($arg,)*) = ($($crate::Strategy::sample(&($strategy), &mut rng),)*);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Prints the failing case index when a property panics, so the exact
+/// input can be replayed (cases are drawn from a fixed per-test seed).
+#[doc(hidden)]
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+}
+
+impl CaseGuard {
+    #[doc(hidden)]
+    #[must_use]
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CaseGuard { name, case }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: {} failed at case {} (deterministic seed; rerun reproduces it)",
+                self.name, self.case
+            );
+        }
+    }
+}
+
+/// `assert!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The glob-import surface test files use.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_test("ranges_stay_in_bounds");
+        let s = 5u64..17;
+        for _ in 0..1000 {
+            let v = s.sample(&mut rng);
+            assert!((5..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_honour_range() {
+        let mut rng = crate::TestRng::for_test("vec_lengths_honour_range");
+        let s = prop::collection::vec(0u32..4, 2..9);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_test_name() {
+        let draw = || {
+            let mut rng = crate::TestRng::for_test("fixed-name");
+            (0u64..1_000_000).sample(&mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_draws_tuples_and_maps((a, b) in (0u8..10, 0u8..10), v in prop::collection::vec((0u64..3).prop_map(|x| x * 2), 1..5)) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(v.iter().all(|&x| x % 2 == 0));
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline placeholder for [serde](https://serde.rs).
+//!
+//! The workspace builds in environments with no crates.io access, so
+//! this stub exists only to let the *optional* `serde` dependency
+//! declared by every crate resolve. No workspace crate enables its
+//! `serde` cargo feature by default, so the `cfg_attr` derive
+//! attributes that reference `serde::Serialize` / `serde::Deserialize`
+//! are never compiled against this stub.
+//!
+//! To build with real serialization support, replace the `serde` entry
+//! in `[workspace.dependencies]` with the crates.io version and enable
+//! the `serde` feature on the crates you need (see vendor/README.md).
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// Never implemented by the stub's users: the workspace's `serde`
+/// features are off by default, and turning them on requires the real
+/// crate (the stub has no derive macros).
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
