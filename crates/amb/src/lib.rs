@@ -47,6 +47,7 @@ use assist_buffer::{AssistBuffer, BufferPorts};
 use cache_model::{CacheGeometry, ConfigError};
 use cpu_model::{MemResponse, MemorySystem, Plumbing};
 use mct::{ClassifyingCache, MissClass, TagBits};
+use sim_core::probe;
 use sim_core::{Cycle, LineAddr};
 use trace_gen::MemoryAccess;
 
@@ -315,6 +316,9 @@ impl AmbSystem {
             Some(ready) => {
                 self.stats.prefetches_issued += 1;
                 let _ = self.ports.line_write(ready);
+                probe::emit(probe::ProbeEvent::AmbPartition {
+                    role: probe::AmbRole::Prefetch,
+                });
                 self.buffer.insert(
                     line,
                     AmbMeta {
@@ -360,6 +364,9 @@ impl AmbSystem {
                     // marks it as an exclusion line.
                     if let Some(m) = self.buffer.probe(line) {
                         m.role = Role::Exclusion;
+                        probe::emit(probe::ProbeEvent::AmbPartition {
+                            role: probe::AmbRole::Exclusion,
+                        });
                     }
                 } else {
                     let _ = self.buffer.probe_remove(line);
@@ -384,6 +391,9 @@ impl AmbSystem {
         self.plumbing.l1_occupy(line, start, 2);
         if let Some(evicted) = self.l1.fill(line, class.is_conflict()) {
             if self.cfg.policy.victims() && class == MissClass::Conflict {
+                probe::emit(probe::ProbeEvent::AmbPartition {
+                    role: probe::AmbRole::Victim,
+                });
                 self.buffer.insert(
                     evicted.line,
                     AmbMeta {
@@ -406,6 +416,7 @@ impl MemorySystem for AmbSystem {
         let l1_done = grant + self.plumbing.timings().l1_latency;
         if self.l1.probe(line).is_some() {
             self.stats.d_hits += 1;
+            probe::emit(probe::ProbeEvent::Access { hit: true });
             return MemResponse::at(l1_done);
         }
 
@@ -414,16 +425,27 @@ impl MemorySystem for AmbSystem {
         let class = self.l1.classify_miss(line);
 
         if let Some(&meta) = self.buffer.peek(line) {
+            probe::emit(probe::ProbeEvent::Access { hit: true });
             let ready = self.buffer_hit(line, meta, class, l1_done);
             return MemResponse::at(ready);
         }
 
         self.stats.demand_misses += 1;
+        probe::emit(probe::ProbeEvent::Access { hit: false });
         let ready = self.plumbing.fetch_demand(line, grant);
 
         let exclude = self.cfg.policy.excludes() && class == MissClass::Capacity;
+        if self.cfg.policy.excludes() {
+            probe::emit(probe::ProbeEvent::Filter {
+                unit: probe::FilterUnit::AmbExclude,
+                fired: exclude,
+            });
+        }
         if exclude {
             let _ = self.ports.line_write(ready);
+            probe::emit(probe::ProbeEvent::AmbPartition {
+                role: probe::AmbRole::Exclusion,
+            });
             self.buffer.insert(
                 line,
                 AmbMeta {
@@ -434,8 +456,18 @@ impl MemorySystem for AmbSystem {
             self.l1.note_bypass(line);
         } else {
             if let Some(evicted) = self.l1.fill(line, class.is_conflict()) {
-                if self.cfg.policy.victims() && class == MissClass::Conflict {
+                let keep_victim = self.cfg.policy.victims() && class == MissClass::Conflict;
+                if self.cfg.policy.victims() {
+                    probe::emit(probe::ProbeEvent::Filter {
+                        unit: probe::FilterUnit::AmbVictim,
+                        fired: keep_victim,
+                    });
+                }
+                if keep_victim {
                     let _ = self.ports.line_write(ready);
+                    probe::emit(probe::ProbeEvent::AmbPartition {
+                        role: probe::AmbRole::Victim,
+                    });
                     self.buffer.insert(
                         evicted.line,
                         AmbMeta {
@@ -446,8 +478,14 @@ impl MemorySystem for AmbSystem {
                 }
             }
         }
-        if self.cfg.policy.prefetches() && class == MissClass::Capacity {
-            self.issue_prefetch(line.next(), grant);
+        if self.cfg.policy.prefetches() {
+            probe::emit(probe::ProbeEvent::Filter {
+                unit: probe::FilterUnit::AmbPrefetch,
+                fired: class == MissClass::Capacity,
+            });
+            if class == MissClass::Capacity {
+                self.issue_prefetch(line.next(), grant);
+            }
         }
         MemResponse::at(ready)
     }

@@ -59,6 +59,40 @@ fn bench_classifying_cache(c: &mut Criterion) {
     g.finish();
 }
 
+/// The zero-overhead claim behind `sim_core::probe`: the same
+/// MCT-classification loop as `mct_classifying_cache`, once with the
+/// probe layer disarmed (the shipping default — one relaxed atomic
+/// load per emit site) and once with a [`NullSink`] installed (every
+/// event constructed and dispatched, then discarded). `disarmed`
+/// should match `mct_classifying_cache` within noise; the gap between
+/// `disarmed` and `null_sink` is the price of *armed* dispatch, paid
+/// only when `--probe` is requested.
+fn bench_probe_null(c: &mut Criterion) {
+    use sim_core::probe::NullSink;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let refs = lines(N);
+    let run = |refs: &[sim_core::LineAddr]| {
+        let geom = CacheGeometry::new(16 * 1024, 1, 64).unwrap();
+        let mut cache = ClassifyingCache::new(geom, TagBits::Full);
+        for &line in refs {
+            black_box(cache.access(line));
+        }
+        black_box(cache.class_counts())
+    };
+    let mut g = c.benchmark_group("substrate");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("probe_disarmed", |b| b.iter(|| run(&refs)));
+    g.bench_function("probe_null", |b| {
+        b.iter(|| {
+            let sink = Rc::new(RefCell::new(NullSink));
+            sim_core::probe::with_sink(sink, || run(&refs))
+        })
+    });
+    g.finish();
+}
+
 fn bench_oracle(c: &mut Criterion) {
     let refs = lines(N);
     let mut g = c.benchmark_group("substrate");
@@ -126,6 +160,6 @@ fn bench_full_pipeline(c: &mut Criterion) {
 criterion_group! {
     name = substrate;
     config = Criterion::default().sample_size(10);
-    targets = bench_plain_cache, bench_classifying_cache, bench_oracle, bench_trace_supply, bench_full_pipeline,
+    targets = bench_plain_cache, bench_classifying_cache, bench_probe_null, bench_oracle, bench_trace_supply, bench_full_pipeline,
 }
 criterion_main!(substrate);

@@ -1,5 +1,6 @@
 //! An LRU set-associative cache with per-line metadata.
 
+use sim_core::probe;
 use sim_core::LineAddr;
 
 use crate::{CacheGeometry, CacheStats};
@@ -82,6 +83,7 @@ pub struct SetAssocCache<M = ()> {
     stats: CacheStats,
     replacement: Replacement,
     evictions: u64,
+    probed: bool,
 }
 
 impl<M> SetAssocCache<M> {
@@ -108,6 +110,7 @@ impl<M> SetAssocCache<M> {
             stats: CacheStats::default(),
             replacement,
             evictions: 0,
+            probed: false,
         }
     }
 
@@ -115,6 +118,18 @@ impl<M> SetAssocCache<M> {
     #[must_use]
     pub const fn replacement(&self) -> Replacement {
         self.replacement
+    }
+
+    /// Opts this cache into per-set [`probe`] events
+    /// ([`probe::ProbeEvent::SetFill`] / [`probe::ProbeEvent::SetEvict`]).
+    ///
+    /// Off by default so that secondary structures sharing the model
+    /// (an L2, a shadow copy) do not pollute the L1's event stream;
+    /// the unit that an experiment measures enables it at
+    /// construction. No events are emitted either way unless a probe
+    /// sink is installed.
+    pub fn enable_set_probes(&mut self) {
+        self.probed = true;
     }
 
     /// Index of the way a fill would displace in a full `set`.
@@ -215,6 +230,11 @@ impl<M> SetAssocCache<M> {
         let set_index = self.geom.set_index(line);
         let tag = self.geom.tag(line);
         let assoc = self.geom.associativity() as usize;
+        if self.probed && probe::active() {
+            probe::emit(probe::ProbeEvent::SetFill {
+                set: set_index as u32,
+            });
+        }
         if self.sets[set_index].ways.len() < assoc {
             self.sets[set_index].ways.push(Way {
                 tag,
@@ -227,6 +247,11 @@ impl<M> SetAssocCache<M> {
         // Displace the policy's victim.
         let way = self.victim_way(set_index);
         self.evictions += 1;
+        if self.probed && probe::active() {
+            probe::emit(probe::ProbeEvent::SetEvict {
+                set: set_index as u32,
+            });
+        }
         let victim = &mut self.sets[set_index].ways[way];
         let evicted_tag = victim.tag;
         let evicted_meta = std::mem::replace(&mut victim.meta, meta);

@@ -34,6 +34,7 @@
 
 use cache_model::oracle::ThreeCClassifier;
 use cache_model::CacheGeometry;
+use sim_core::probe;
 use sim_core::stats::Ratio;
 use sim_core::LineAddr;
 
@@ -118,14 +119,19 @@ impl<T: EvictionClassifier> AccuracyEvaluator<T> {
         let outcome = self.cache.access(line);
         let Some(miss) = outcome.miss() else { return };
         self.report.misses += 1;
-        if oracle_class.is_conflict() {
-            self.report
-                .conflict
-                .record(miss.class == MissClass::Conflict);
+        let agree = if oracle_class.is_conflict() {
+            miss.class == MissClass::Conflict
         } else {
-            self.report
-                .capacity
-                .record(miss.class == MissClass::Capacity);
+            miss.class == MissClass::Capacity
+        };
+        probe::emit(probe::ProbeEvent::Oracle {
+            oracle_conflict: oracle_class.is_conflict(),
+            agree,
+        });
+        if oracle_class.is_conflict() {
+            self.report.conflict.record(agree);
+        } else {
+            self.report.capacity.record(agree);
         }
     }
 

@@ -2,6 +2,7 @@
 //! and per-line conflict bits.
 
 use cache_model::{CacheGeometry, CacheStats, SetAssocCache};
+use sim_core::probe;
 use sim_core::LineAddr;
 
 use crate::{ConflictFilter, EvictionClassifier, MissClass, MissClassificationTable, TagBits};
@@ -117,8 +118,12 @@ impl<T: EvictionClassifier> ClassifyingCache<T> {
     /// greater than one).
     #[must_use]
     pub fn with_classifier(geom: CacheGeometry, table: T) -> Self {
+        let mut cache = SetAssocCache::new(geom);
+        // The classifying cache is always the unit an experiment
+        // measures, so it reports per-set fill/evict probe events.
+        cache.enable_set_probes();
         ClassifyingCache {
-            cache: SetAssocCache::new(geom),
+            cache,
             table,
             conflict_misses: 0,
             capacity_misses: 0,
@@ -154,8 +159,10 @@ impl<T: EvictionClassifier> ClassifyingCache<T> {
     /// the eviction.
     pub fn access(&mut self, line: LineAddr) -> AccessOutcome {
         if let Some(bit) = self.cache.probe(line) {
+            probe::emit(probe::ProbeEvent::Access { hit: true });
             return AccessOutcome::Hit { conflict_bit: *bit };
         }
+        probe::emit(probe::ProbeEvent::Access { hit: false });
         let class = self.classify_miss(line);
         match class {
             MissClass::Conflict => self.conflict_misses += 1,
@@ -197,11 +204,23 @@ impl<T: EvictionClassifier> ClassifyingCache<T> {
     /// Fills `line` with the given conflict bit; any displaced line is
     /// recorded in the MCT and returned.
     pub fn fill(&mut self, line: LineAddr, conflict_bit: bool) -> Option<EvictedLine> {
+        if conflict_bit && probe::active() {
+            probe::emit(probe::ProbeEvent::ConflictBit {
+                set: self.cache.geometry().set_index(line) as u32,
+                set_bit: true,
+            });
+        }
         let evicted = self.cache.fill(line, conflict_bit);
         evicted.map(|ev| {
             let geom = self.cache.geometry();
             let set = geom.set_index(ev.line);
             let tag = geom.tag(ev.line);
+            if ev.meta && probe::active() {
+                probe::emit(probe::ProbeEvent::ConflictBit {
+                    set: set as u32,
+                    set_bit: false,
+                });
+            }
             self.table.record_eviction(set, tag);
             EvictedLine {
                 line: ev.line,

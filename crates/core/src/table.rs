@@ -2,6 +2,8 @@
 
 use core::fmt;
 
+use sim_core::probe;
+
 use crate::MissClass;
 
 /// How many bits of the evicted line's tag the MCT stores per entry.
@@ -61,6 +63,10 @@ impl fmt::Display for TagBits {
 #[derive(Debug, Clone, Copy, Default)]
 struct MctEntry {
     tag: u64,
+    /// The untruncated evicted tag, kept only so the probe layer can
+    /// distinguish a genuine conflict match from a partial-tag alias.
+    /// Classification never reads this — hardware would not store it.
+    full_tag: u64,
     valid: bool,
 }
 
@@ -143,7 +149,24 @@ impl MissClassificationTable {
     #[must_use]
     pub fn classify(&self, set: usize, tag: u64) -> MissClass {
         let e = &self.entries[set];
-        if e.valid && e.tag == (tag & self.mask) {
+        let matched = e.valid && e.tag == (tag & self.mask);
+        if probe::active() {
+            let lookup = if !e.valid {
+                probe::MctLookup::Empty
+            } else if !matched {
+                probe::MctLookup::Stale
+            } else if e.full_tag == tag {
+                probe::MctLookup::Match
+            } else {
+                probe::MctLookup::Alias
+            };
+            probe::emit(probe::ProbeEvent::Classify {
+                set: set as u32,
+                conflict: matched,
+                lookup,
+            });
+        }
+        if matched {
             MissClass::Conflict
         } else {
             MissClass::Capacity
@@ -159,6 +182,7 @@ impl MissClassificationTable {
     pub fn record_eviction(&mut self, set: usize, tag: u64) {
         self.entries[set] = MctEntry {
             tag: tag & self.mask,
+            full_tag: tag,
             valid: true,
         };
     }

@@ -1,6 +1,7 @@
 //! The no-assist baseline memory system.
 
 use cache_model::{CacheGeometry, CacheStats, ConfigError, SetAssocCache};
+use sim_core::probe;
 use sim_core::Cycle;
 use trace_gen::MemoryAccess;
 
@@ -34,10 +35,11 @@ impl BaselineSystem {
     /// Creates a baseline with an explicit L1 geometry and miss path.
     #[must_use]
     pub fn new(l1_geometry: CacheGeometry, plumbing: Plumbing) -> Self {
-        BaselineSystem {
-            l1: SetAssocCache::new(l1_geometry),
-            plumbing,
-        }
+        let mut l1 = SetAssocCache::new(l1_geometry);
+        // The baseline L1 is the measured unit, so it reports per-set
+        // fill/evict probe events (the shared L2 stays silent).
+        l1.enable_set_probes();
+        BaselineSystem { l1, plumbing }
     }
 
     /// The paper's system: 16 KB direct-mapped L1, 8 banks, 16 MSHRs,
@@ -86,8 +88,10 @@ impl MemorySystem for BaselineSystem {
         let line = access.addr.line(line_size);
         let grant = self.plumbing.l1_grant(line, now);
         if self.l1.probe(line).is_some() {
+            probe::emit(probe::ProbeEvent::Access { hit: true });
             return MemResponse::at(grant + self.plumbing.timings().l1_latency);
         }
+        probe::emit(probe::ProbeEvent::Access { hit: false });
         let ready = self.plumbing.fetch_demand(line, grant);
         let _evicted = self.l1.fill(line, ());
         MemResponse::at(ready)

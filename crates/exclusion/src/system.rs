@@ -5,6 +5,7 @@ use assist_buffer::{AssistBuffer, BufferPorts};
 use cache_model::{CacheGeometry, ConfigError};
 use cpu_model::{MemResponse, MemorySystem, Plumbing};
 use mct::{ClassifyingCache, MissClass, TagBits};
+use sim_core::probe;
 use sim_core::{Addr, Cycle};
 use trace_gen::MemoryAccess;
 
@@ -277,6 +278,7 @@ impl MemorySystem for ExclusionSystem {
         let l1_done = grant + self.plumbing.timings().l1_latency;
         if self.l1.probe(line).is_some() {
             self.stats.d_hits += 1;
+            probe::emit(probe::ProbeEvent::Access { hit: true });
             return MemResponse::at(l1_done);
         }
 
@@ -284,15 +286,22 @@ impl MemorySystem for ExclusionSystem {
             // Excluded lines are served from the bypass buffer and
             // stay there until bumped.
             self.stats.buffer_hits += 1;
+            probe::emit(probe::ProbeEvent::Access { hit: true });
             let word = self.ports.word_read(l1_done);
             return MemResponse::at(word + self.plumbing.timings().buffer_extra);
         }
 
         let class = self.l1.classify_miss(line);
         self.stats.demand_misses += 1;
+        probe::emit(probe::ProbeEvent::Access { hit: false });
         let ready = self.plumbing.fetch_demand(line, grant);
 
-        if self.should_exclude(access.addr, class) {
+        let exclude = self.should_exclude(access.addr, class);
+        probe::emit(probe::ProbeEvent::Filter {
+            unit: probe::FilterUnit::Exclude,
+            fired: exclude,
+        });
+        if exclude {
             self.stats.excluded += 1;
             let _ = self.ports.line_write(ready);
             self.buffer.insert(line, ());

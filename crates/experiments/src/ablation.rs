@@ -81,14 +81,21 @@ fn depth_sweep(events: usize) -> Vec<DepthPoint> {
     crate::par_map(cells, |(config, geom, depth)| {
         let mut total = AccuracyReport::default();
         for w in full_suite() {
-            let dir = ShadowDirectory::new(geom.num_sets(), TagBits::Full, depth);
-            let mut eval = AccuracyEvaluator::with_classifier(geom, dir);
-            let trace = crate::trace_for(&w, events);
-            crate::telemetry::record_events(events as u64);
-            for event in trace.iter() {
-                eval.observe(event.access.addr.line(geom.line_size()));
-            }
-            total.merge(eval.report());
+            let report = crate::probe::cell(
+                "ablation",
+                || format!("depth/{config}-d{depth}/{}", w.name()),
+                || {
+                    let dir = ShadowDirectory::new(geom.num_sets(), TagBits::Full, depth);
+                    let mut eval = AccuracyEvaluator::with_classifier(geom, dir);
+                    let trace = crate::trace_for(&w, events);
+                    crate::telemetry::record_events(events as u64);
+                    for event in trace.iter() {
+                        eval.observe(event.access.addr.line(geom.line_size()));
+                    }
+                    eval.finish()
+                },
+            );
+            total.merge(&report);
         }
         DepthPoint {
             config,
@@ -114,11 +121,19 @@ fn window_sweep(events: usize) -> Vec<WindowPoint> {
                 cpu.run(&mut &mut *sys, trace.iter().copied())
             };
             let mut base = BaselineSystem::paper_default().expect("paper config");
-            let base_report = run(&mut base);
+            let base_report = crate::probe::cell(
+                "ablation",
+                || format!("window/w{window}-base/{}", w.name()),
+                || run(&mut base),
+            );
             ipc_sum += base_report.ipc();
             let mut amb = AmbSystem::paper_default(AmbConfig::new(AmbPolicy::VictPref))
                 .expect("paper config");
-            let amb_report = run(&mut amb);
+            let amb_report = crate::probe::cell(
+                "ablation",
+                || format!("window/w{window}-victpref/{}", w.name()),
+                || run(&mut amb),
+            );
             mean.push(amb_report.speedup_over(&base_report));
         }
         WindowPoint {
@@ -135,21 +150,33 @@ fn buffer_sweep(events: usize) -> Vec<BufferPoint> {
     let baselines: Vec<_> = benchmarks
         .iter()
         .map(|w| {
-            let mut base = BaselineSystem::paper_default().expect("paper config");
-            crate::drive(&mut base, w, events)
+            crate::probe::cell(
+                "ablation",
+                || format!("buffer/base/{}", w.name()),
+                || {
+                    let mut base = BaselineSystem::paper_default().expect("paper config");
+                    crate::drive(&mut base, w, events)
+                },
+            )
         })
         .collect();
     crate::par_map(BUFFERS.to_vec(), |entries| {
         let mut mean = GeoMean::default();
         for (w, base) in benchmarks.iter().zip(&baselines) {
-            let cfg = AmbConfig {
-                entries,
-                ..AmbConfig::new(AmbPolicy::VicPreExc)
-            };
-            let mut sys = AmbSystem::paper_default(cfg).expect("paper config");
-            let trace = crate::trace_for(w, events);
-            crate::telemetry::record_events(events as u64);
-            let report = cpu.run(&mut sys, trace.iter().copied());
+            let report = crate::probe::cell(
+                "ablation",
+                || format!("buffer/e{entries}/{}", w.name()),
+                || {
+                    let cfg = AmbConfig {
+                        entries,
+                        ..AmbConfig::new(AmbPolicy::VicPreExc)
+                    };
+                    let mut sys = AmbSystem::paper_default(cfg).expect("paper config");
+                    let trace = crate::trace_for(w, events);
+                    crate::telemetry::record_events(events as u64);
+                    cpu.run(&mut sys, trace.iter().copied())
+                },
+            );
             mean.push(report.speedup_over(base));
         }
         BufferPoint {

@@ -1,0 +1,76 @@
+//! Inspect `obs-repro/1` probe files written by `repro --probe`.
+//!
+//! ```text
+//! obs summarize FILE [--cell SUBSTR] [--top K]
+//! ```
+//!
+//! Renders per-cell miss/conflict/accuracy summaries, the hottest
+//! conflict sets, and (with `--cell`) the full epoch table of every
+//! matching cell. All logic lives in [`experiments::obs`]; this binary
+//! only parses arguments and does I/O.
+
+use std::env;
+use std::process::ExitCode;
+
+use experiments::obs::{summarize, SummarizeOptions};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: obs summarize FILE [--cell SUBSTR] [--top K]\n\
+         \n\
+         summarize        render epoch/cell/hot-set tables for a probe file\n\
+         --cell SUBSTR    also print the per-epoch table of cells whose\n\
+         \u{20}               target/cell name contains SUBSTR\n\
+         --top K          rows in the hottest-sets section (default 10)\n\
+         \n\
+         Probe files are written by `repro --probe epoch:N --probe-out FILE`."
+    );
+    ExitCode::FAILURE
+}
+
+fn run(args: Vec<String>) -> Result<String, String> {
+    let mut args = args.into_iter();
+    match args.next().as_deref() {
+        Some("summarize") => {}
+        Some(other) => return Err(format!("unknown command: {other}")),
+        None => return Err("missing command".to_owned()),
+    }
+    let mut file = None;
+    let mut opts = SummarizeOptions::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cell" => {
+                opts.cell_filter = Some(args.next().ok_or("--cell needs a substring")?);
+            }
+            "--top" => {
+                let value = args.next().ok_or("--top needs a count")?;
+                opts.top = value
+                    .parse()
+                    .map_err(|_| format!("--top needs a positive integer, got `{value}`"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown flag: {other}")),
+            other if file.is_none() => file = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    let file = file.ok_or("missing probe file argument")?;
+    let text =
+        std::fs::read_to_string(&file).map_err(|err| format!("cannot read {file}: {err}"))?;
+    summarize(&text, &opts)
+}
+
+fn main() -> ExitCode {
+    match run(env::args().skip(1).collect()) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("obs: {msg}\n");
+            }
+            usage()
+        }
+    }
+}

@@ -2,7 +2,8 @@
 //! the paper's evaluation.
 //!
 //! ```text
-//! repro [--events N] [--threads N] [--bench-json PATH] [TARGET ...]
+//! repro [--events N] [--threads N] [--bench-json PATH]
+//!       [--probe epoch:N|raw] [--probe-out PATH] [TARGET ...]
 //! ```
 //!
 //! Independent figures run concurrently through the same deterministic
@@ -22,11 +23,16 @@ use experiments::telemetry::{BenchReport, FigureBench};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--events N] [--threads N] [--bench-json PATH] \
+         [--probe epoch:N|raw] [--probe-out PATH] \
          [fig1|fig2|fig3|tab1|fig4|fig5|sec54|sec56|fig6|fig7|ablation|all]\n\
          \n\
          --events N       trace events per workload (default {})\n\
          --threads N      worker-thread cap (1 = fully serial; default: all cores)\n\
          --bench-json P   write machine-readable throughput telemetry to P\n\
+         --probe MODE     collect per-cell probe data: epoch:N (fold into\n\
+         \u{20}                epochs of N accesses) or raw (every event; small runs)\n\
+         --probe-out P    probe JSONL path (default OBS_repro.jsonl); inspect\n\
+         \u{20}                with `obs summarize P`\n\
          \n\
          fig1   MCT classification accuracy (4 cache configs)\n\
          fig2   accuracy vs saved tag bits\n\
@@ -58,6 +64,7 @@ fn main() -> ExitCode {
     if let Some(threads) = opts.threads {
         sim_core::parallel::set_max_threads(threads);
     }
+    experiments::probe::configure(opts.probe);
 
     // Figure-level parallelism: independent targets overlap on the
     // same scheduler the per-figure cell loops use. Reports are
@@ -105,6 +112,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("[bench] wrote {}", path.display());
+    }
+
+    if let (Some(mode), Some(path)) = (opts.probe, &opts.probe_out) {
+        let records = experiments::probe::drain();
+        let header = experiments::probe::RunHeader {
+            mode,
+            events_per_workload: events,
+            targets: opts.targets.iter().map(|t| t.name()).collect(),
+        };
+        let cells = records.len();
+        if let Err(err) = std::fs::write(path, experiments::probe::render_jsonl(&records, &header))
+        {
+            eprintln!("repro: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[probe] wrote {} ({cells} cells, mode {})",
+            path.display(),
+            mode.name()
+        );
     }
     ExitCode::SUCCESS
 }

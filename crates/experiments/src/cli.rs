@@ -7,6 +7,8 @@
 
 use std::path::PathBuf;
 
+use crate::probe::ProbeMode;
+
 /// One runnable repro target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Target {
@@ -124,6 +126,11 @@ pub struct Options {
     pub threads: Option<usize>,
     /// Where to write the machine-readable bench report, if anywhere.
     pub bench_json: Option<PathBuf>,
+    /// Probe mode (`--probe epoch:N` / `--probe raw`), if any.
+    pub probe: Option<ProbeMode>,
+    /// Where the probe JSONL goes (defaults to `OBS_repro.jsonl` when
+    /// `--probe` is given).
+    pub probe_out: Option<PathBuf>,
     /// Targets to run, in order.
     pub targets: Vec<Target>,
 }
@@ -140,6 +147,8 @@ where
     let mut events = crate::DEFAULT_EVENTS;
     let mut threads = None;
     let mut bench_json = None;
+    let mut probe = None;
+    let mut probe_out: Option<PathBuf> = None;
     let mut targets = Vec::new();
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -172,6 +181,14 @@ where
                 let value = args.next().ok_or("--bench-json needs a path")?;
                 bench_json = Some(PathBuf::from(value));
             }
+            "--probe" => {
+                let value = args.next().ok_or("--probe needs `epoch:N` or `raw`")?;
+                probe = Some(parse_probe_mode(&value)?);
+            }
+            "--probe-out" => {
+                let value = args.next().ok_or("--probe-out needs a path")?;
+                probe_out = Some(PathBuf::from(value));
+            }
             "--help" | "-h" => return Err(String::new()),
             "all" => targets.extend(Target::ALL),
             other if other.starts_with('-') => {
@@ -187,12 +204,42 @@ where
     if targets.is_empty() {
         targets.extend(Target::ALL);
     }
+    if probe_out.is_some() && probe.is_none() {
+        return Err("--probe-out without --probe; add `--probe epoch:N` or `--probe raw`".into());
+    }
+    if probe.is_some() && probe_out.is_none() {
+        probe_out = Some(PathBuf::from("OBS_repro.jsonl"));
+    }
     Ok(Options {
         events,
         threads,
         bench_json,
+        probe,
+        probe_out,
         targets,
     })
+}
+
+/// Parses a `--probe` value: `epoch:N` (N accesses per epoch) or
+/// `raw`.
+fn parse_probe_mode(value: &str) -> Result<ProbeMode, String> {
+    if value == "raw" {
+        return Ok(ProbeMode::Raw);
+    }
+    if let Some(n) = value.strip_prefix("epoch:") {
+        let len: u64 = n
+            .parse()
+            .map_err(|_| format!("--probe epoch:N needs a positive integer, got `{n}`"))?;
+        if len == 0 {
+            return Err(
+                "--probe epoch:0 would never close an epoch; pass a positive length".into(),
+            );
+        }
+        return Ok(ProbeMode::Epoch(len));
+    }
+    Err(format!(
+        "unknown probe mode `{value}` (expected `epoch:N` or `raw`)"
+    ))
 }
 
 #[cfg(test)]
@@ -210,6 +257,8 @@ mod tests {
         assert_eq!(opts.targets, Target::ALL.to_vec());
         assert_eq!(opts.threads, None);
         assert_eq!(opts.bench_json, None);
+        assert_eq!(opts.probe, None);
+        assert_eq!(opts.probe_out, None);
     }
 
     #[test]
@@ -252,6 +301,34 @@ mod tests {
             Some(std::path::Path::new("out/BENCH_repro.json"))
         );
         assert_eq!(opts.targets, vec![Target::Fig3, Target::Fig6]);
+    }
+
+    #[test]
+    fn parses_probe_flags() {
+        let opts = parse(&["--probe", "epoch:500", "fig1"]).unwrap();
+        assert_eq!(opts.probe, Some(ProbeMode::Epoch(500)));
+        // --probe-out defaults when --probe is given.
+        assert_eq!(
+            opts.probe_out.as_deref(),
+            Some(std::path::Path::new("OBS_repro.jsonl"))
+        );
+
+        let opts = parse(&["--probe", "raw", "--probe-out", "out.jsonl"]).unwrap();
+        assert_eq!(opts.probe, Some(ProbeMode::Raw));
+        assert_eq!(
+            opts.probe_out.as_deref(),
+            Some(std::path::Path::new("out.jsonl"))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_probe_flags() {
+        assert!(parse(&["--probe", "epoch:0"]).is_err());
+        assert!(parse(&["--probe", "epoch:many"]).is_err());
+        assert!(parse(&["--probe", "sometimes"]).is_err());
+        assert!(parse(&["--probe"]).is_err());
+        let err = parse(&["--probe-out", "x.jsonl"]).unwrap_err();
+        assert!(err.contains("--probe-out without --probe"), "{err}");
     }
 
     #[test]

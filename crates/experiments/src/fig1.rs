@@ -10,7 +10,7 @@ use mct::accuracy::{AccuracyEvaluator, AccuracyReport};
 use mct::TagBits;
 use workloads::{full_suite, Workload};
 
-use crate::table::pct;
+use crate::table::pct_ratio;
 use crate::Table;
 
 /// One cache configuration's results.
@@ -80,7 +80,12 @@ pub fn run(events: usize) -> Fig1 {
         .into_iter()
         .map(|(name, geom)| {
             let benchmarks: Vec<(String, AccuracyReport)> = crate::par_map(full_suite(), |w| {
-                (w.name().to_owned(), evaluate(&w, geom, events))
+                let report = crate::probe::cell(
+                    "fig1",
+                    || format!("{name}/{}", w.name()),
+                    || evaluate(&w, geom, events),
+                );
+                (w.name().to_owned(), report)
             });
             let mut average = AccuracyReport::default();
             for (_, report) in &benchmarks {
@@ -114,15 +119,15 @@ impl std::fmt::Display for Fig1 {
             let mut row = vec![(*name).clone()];
             for c in &self.configs {
                 let r = &c.benchmarks[i].1;
-                row.push(pct(r.conflict.value()));
-                row.push(pct(r.capacity.value()));
+                row.push(pct_ratio(r.conflict));
+                row.push(pct_ratio(r.capacity));
             }
             table.row(row);
         }
         let mut avg = vec!["AVERAGE".to_owned()];
         for c in &self.configs {
-            avg.push(pct(c.average.conflict.value()));
-            avg.push(pct(c.average.capacity.value()));
+            avg.push(pct_ratio(c.average.conflict));
+            avg.push(pct_ratio(c.average.capacity));
         }
         table.row(avg);
         write!(f, "{table}")?;

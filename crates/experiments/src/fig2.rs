@@ -11,7 +11,7 @@ use mct::accuracy::{AccuracyEvaluator, AccuracyReport};
 use mct::TagBits;
 use workloads::full_suite;
 
-use crate::table::pct;
+use crate::table::{pct, pct_ratio};
 use crate::Table;
 
 /// One point of the tag-bit sweep.
@@ -51,13 +51,20 @@ pub fn run(events: usize) -> Fig2 {
     let points = crate::par_map(widths(), |bits| {
         let mut total = AccuracyReport::default();
         for w in full_suite() {
-            let mut eval = AccuracyEvaluator::new(geom, bits);
-            let trace = crate::trace_for(&w, events);
-            crate::telemetry::record_events(events as u64);
-            for event in trace.iter() {
-                eval.observe(event.access.addr.line(64));
-            }
-            total.merge(eval.report());
+            let report = crate::probe::cell(
+                "fig2",
+                || format!("{bits}/{}", w.name()),
+                || {
+                    let mut eval = AccuracyEvaluator::new(geom, bits);
+                    let trace = crate::trace_for(&w, events);
+                    crate::telemetry::record_events(events as u64);
+                    for event in trace.iter() {
+                        eval.observe(event.access.addr.line(64));
+                    }
+                    eval.finish()
+                },
+            );
+            total.merge(&report);
         }
         SweepPoint {
             bits,
@@ -90,8 +97,8 @@ impl std::fmt::Display for Fig2 {
         for p in &self.points {
             table.row(vec![
                 p.bits.to_string(),
-                pct(p.report.conflict.value()),
-                pct(p.report.capacity.value()),
+                pct_ratio(p.report.conflict),
+                pct_ratio(p.report.capacity),
                 pct(p.report.overall()),
             ]);
         }

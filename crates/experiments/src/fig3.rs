@@ -55,8 +55,13 @@ fn run_baseline(w: &Workload, events: usize) -> (CpuReport, f64) {
 #[must_use]
 pub fn run(events: usize) -> Fig3 {
     let benchmarks = suite();
-    let baselines: Vec<(CpuReport, f64)> =
-        crate::par_map(benchmarks.clone(), |w| run_baseline(&w, events));
+    let baselines: Vec<(CpuReport, f64)> = crate::par_map(benchmarks.clone(), |w| {
+        crate::probe::cell(
+            "fig3",
+            || format!("baseline/{}", w.name()),
+            || run_baseline(&w, events),
+        )
+    });
     let mut base_hits = 0.0;
     for (_, hr) in &baselines {
         base_hits += hr;
@@ -68,13 +73,20 @@ pub fn run(events: usize) -> Fig3 {
         let mut mean = GeoMean::default();
         let mut agg = VictimStats::default();
         for (w, (base_report, _)) in benchmarks.iter().zip(&baselines) {
-            let mut sys =
-                VictimSystem::paper_default(VictimConfig::new(policy)).expect("paper config");
-            let report = drive(&mut sys, w, events);
+            let (report, st) = crate::probe::cell(
+                "fig3",
+                || format!("{policy}/{}", w.name()),
+                || {
+                    let mut sys = VictimSystem::paper_default(VictimConfig::new(policy))
+                        .expect("paper config");
+                    let report = drive(&mut sys, w, events);
+                    (report, *sys.stats())
+                },
+            );
             let s = report.speedup_over(base_report);
             mean.push(s);
             speedups.push((w.name().to_owned(), s));
-            let st = sys.stats();
+            let st = &st;
             agg.accesses += st.accesses;
             agg.d_hits += st.d_hits;
             agg.v_hits += st.v_hits;

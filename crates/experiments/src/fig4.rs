@@ -83,8 +83,13 @@ fn slow_baseline(workload: &Workload, events: usize) -> CpuReport {
 #[must_use]
 pub fn run(events: usize) -> Fig4 {
     let benchmarks = suite();
-    let baselines: Vec<CpuReport> =
-        crate::par_map(benchmarks.clone(), |w| slow_baseline(&w, events));
+    let baselines: Vec<CpuReport> = crate::par_map(benchmarks.clone(), |w| {
+        crate::probe::cell(
+            "fig4",
+            || format!("baseline/{}", w.name()),
+            || slow_baseline(&w, events),
+        )
+    });
 
     let strategies = crate::par_map(strategies(), |filter| {
         let cfg = match filter {
@@ -93,11 +98,22 @@ pub fn run(events: usize) -> Fig4 {
         };
         let mut agg = PrefetchStats::default();
         let mut mean = GeoMean::default();
+        let strategy_name = match filter {
+            None => "next-line".to_owned(),
+            Some(f) => format!("ignore {f}"),
+        };
         for (w, base) in benchmarks.iter().zip(&baselines) {
-            let mut sys = NextLineSystem::paper_slow_bus(cfg).expect("paper config");
-            let report = drive_slow_bus(&mut sys, w, events);
+            let (report, s) = crate::probe::cell(
+                "fig4",
+                || format!("{strategy_name}/{}", w.name()),
+                || {
+                    let mut sys = NextLineSystem::paper_slow_bus(cfg).expect("paper config");
+                    let report = drive_slow_bus(&mut sys, w, events);
+                    (report, *sys.stats())
+                },
+            );
             mean.push(report.speedup_over(base));
-            let s = sys.stats();
+            let s = &s;
             agg.accesses += s.accesses;
             agg.d_hits += s.d_hits;
             agg.buffer_hits += s.buffer_hits;

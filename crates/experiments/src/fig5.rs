@@ -47,9 +47,15 @@ pub fn simulated_events(events: usize) -> u64 {
 pub fn run(events: usize) -> Fig5 {
     let benchmarks = suite();
     let baseline_cells: Vec<(CpuReport, f64)> = crate::par_map(benchmarks.clone(), |w| {
-        let mut sys = BaselineSystem::paper_default().expect("paper config");
-        let report = drive(&mut sys, &w, events);
-        (report, sys.l1_stats().hit_rate())
+        crate::probe::cell(
+            "fig5",
+            || format!("baseline/{}", w.name()),
+            || {
+                let mut sys = BaselineSystem::paper_default().expect("paper config");
+                let report = drive(&mut sys, &w, events);
+                (report, sys.l1_stats().hit_rate())
+            },
+        )
     });
     let mut baselines: Vec<CpuReport> = Vec::new();
     let mut base_hr = 0.0;
@@ -63,11 +69,18 @@ pub fn run(events: usize) -> Fig5 {
         let mut agg = ExclusionStats::default();
         let mut mean = GeoMean::default();
         for (w, base) in benchmarks.iter().zip(&baselines) {
-            let mut sys =
-                ExclusionSystem::paper_default(ExclusionConfig::new(policy)).expect("paper config");
-            let report = drive(&mut sys, w, events);
+            let (report, s) = crate::probe::cell(
+                "fig5",
+                || format!("{policy}/{}", w.name()),
+                || {
+                    let mut sys = ExclusionSystem::paper_default(ExclusionConfig::new(policy))
+                        .expect("paper config");
+                    let report = drive(&mut sys, w, events);
+                    (report, *sys.stats())
+                },
+            );
             mean.push(report.speedup_over(base));
-            let s = sys.stats();
+            let s = &s;
             agg.accesses += s.accesses;
             agg.d_hits += s.d_hits;
             agg.buffer_hits += s.buffer_hits;

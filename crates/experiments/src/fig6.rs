@@ -52,9 +52,15 @@ pub fn simulated_events(events: usize) -> u64 {
 pub fn run(events: usize) -> Fig6 {
     let benchmarks = suite();
     let baseline_cells: Vec<(CpuReport, f64)> = crate::par_map(benchmarks.clone(), |w| {
-        let mut sys = BaselineSystem::paper_default().expect("paper config");
-        let report = drive(&mut sys, &w, events);
-        (report, sys.l1_stats().hit_rate())
+        crate::probe::cell(
+            "fig6",
+            || format!("baseline/{}", w.name()),
+            || {
+                let mut sys = BaselineSystem::paper_default().expect("paper config");
+                let report = drive(&mut sys, &w, events);
+                (report, sys.l1_stats().hit_rate())
+            },
+        )
     });
     let mut baselines: Vec<CpuReport> = Vec::new();
     let mut base_hr = 0.0;
@@ -79,10 +85,17 @@ pub fn run(events: usize) -> Fig6 {
         let mut mean = GeoMean::default();
         let mut agg = AmbStats::default();
         for (w, base) in benchmarks.iter().zip(&baselines) {
-            let mut sys = AmbSystem::paper_default(cfg).expect("paper config");
-            let report = drive(&mut sys, w, events);
+            let (report, s) = crate::probe::cell(
+                "fig6",
+                || format!("{policy}-{entries}/{}", w.name()),
+                || {
+                    let mut sys = AmbSystem::paper_default(cfg).expect("paper config");
+                    let report = drive(&mut sys, w, events);
+                    (report, *sys.stats())
+                },
+            );
             mean.push(report.speedup_over(base));
-            let s = sys.stats();
+            let s = &s;
             agg.accesses += s.accesses;
             agg.d_hits += s.d_hits;
             agg.victim_hits += s.victim_hits;

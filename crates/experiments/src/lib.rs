@@ -49,6 +49,9 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod jsonl;
+pub mod obs;
+pub mod probe;
 pub mod sec54;
 pub mod sec56;
 mod table;

@@ -65,19 +65,35 @@ pub fn run(events: usize) -> Sec54 {
     let rows: Vec<BenchRow> = crate::par_map(benchmarks, |w| {
         let w = &w;
         let mut dm = BaselineSystem::paper_default().expect("paper config");
-        let _dm_report: CpuReport = drive(&mut dm, w, events);
+        let _dm_report: CpuReport = crate::probe::cell(
+            "sec54",
+            || format!("dm/{}", w.name()),
+            || drive(&mut dm, w, events),
+        );
 
         let mut base = PseudoAssocSystem::paper_default(PseudoConfig::new(PseudoPolicy::Lru))
             .expect("paper config");
-        let base_report = drive(&mut base, w, events);
+        let base_report = crate::probe::cell(
+            "sec54",
+            || format!("pseudo-lru/{}", w.name()),
+            || drive(&mut base, w, events),
+        );
 
         let mut modified =
             PseudoAssocSystem::paper_default(PseudoConfig::new(PseudoPolicy::ConflictBit))
                 .expect("paper config");
-        let mod_report = drive(&mut modified, w, events);
+        let mod_report = crate::probe::cell(
+            "sec54",
+            || format!("pseudo-cbit/{}", w.name()),
+            || drive(&mut modified, w, events),
+        );
 
         let mut two_way = BaselineSystem::paper_two_way().expect("paper config");
-        let two_report = drive(&mut two_way, w, events);
+        let two_report = crate::probe::cell(
+            "sec54",
+            || format!("two-way/{}", w.name()),
+            || drive(&mut two_way, w, events),
+        );
 
         BenchRow {
             name: w.name().to_owned(),

@@ -111,8 +111,22 @@ pub fn run(events: usize) -> Sec56 {
         .iter()
         .map(|w| thread_trace(w, SEED + 1, events, 1 << 43))
         .collect();
-    let solo: Vec<(f64, f64)> = traces.iter().map(|t| solo_run(t)).collect();
-    let solo_partner: Vec<(f64, f64)> = partner_traces.iter().map(|t| solo_run(t)).collect();
+    let solo: Vec<(f64, f64)> = jobs
+        .iter()
+        .zip(&traces)
+        .map(|(w, t)| crate::probe::cell("sec56", || format!("solo/{}", w.name()), || solo_run(t)))
+        .collect();
+    let solo_partner: Vec<(f64, f64)> = jobs
+        .iter()
+        .zip(&partner_traces)
+        .map(|(w, t)| {
+            crate::probe::cell(
+                "sec56",
+                || format!("solo-partner/{}", w.name()),
+                || solo_run(t),
+            )
+        })
+        .collect();
 
     let mut cells = Vec::new();
     for i in 0..jobs.len() {
@@ -121,58 +135,62 @@ pub fn run(events: usize) -> Sec56 {
         }
     }
     let mut pairings = crate::par_map(cells, |(i, j)| {
-        {
-            // Timed SMT run on a shared baseline L1, plus the MCT
-            // accounting pass: four trace replays per pairing.
-            crate::telemetry::record_events(4 * events as u64);
-            let mut shared = BaselineSystem::paper_default().expect("paper config");
-            let smt = SmtModel::new(CpuConfig::paper_default());
-            let report = smt.run(
-                &mut shared,
-                vec![traces[i].clone(), partner_traces[j].clone()],
-            );
+        crate::probe::cell(
+            "sec56",
+            || format!("pair/{}+{}", jobs[i].name(), jobs[j].name()),
+            || {
+                // Timed SMT run on a shared baseline L1, plus the MCT
+                // accounting pass: four trace replays per pairing.
+                crate::telemetry::record_events(4 * events as u64);
+                let mut shared = BaselineSystem::paper_default().expect("paper config");
+                let smt = SmtModel::new(CpuConfig::paper_default());
+                let report = smt.run(
+                    &mut shared,
+                    vec![traces[i].clone(), partner_traces[j].clone()],
+                );
 
-            // Conflict accounting on the same interleaving, through a
-            // classifying cache (the MCT the scheduler would read).
-            let mut mct_cache = ClassifyingCache::new(
-                cache_model::CacheGeometry::new(16 * 1024, 1, 64).expect("paper geometry"),
-                TagBits::Full,
-            );
-            let mut k = 0usize;
-            while k < traces[i].len() || k < partner_traces[j].len() {
-                if let Some(e) = traces[i].get(k) {
-                    mct_cache.access(e.access.addr.line(64));
+                // Conflict accounting on the same interleaving, through a
+                // classifying cache (the MCT the scheduler would read).
+                let mut mct_cache = ClassifyingCache::new(
+                    cache_model::CacheGeometry::new(16 * 1024, 1, 64).expect("paper geometry"),
+                    TagBits::Full,
+                );
+                let mut k = 0usize;
+                while k < traces[i].len() || k < partner_traces[j].len() {
+                    if let Some(e) = traces[i].get(k) {
+                        mct_cache.access(e.access.addr.line(64));
+                    }
+                    if let Some(e) = partner_traces[j].get(k) {
+                        mct_cache.access(e.access.addr.line(64));
+                    }
+                    k += 1;
                 }
-                if let Some(e) = partner_traces[j].get(k) {
-                    mct_cache.access(e.access.addr.line(64));
-                }
-                k += 1;
-            }
-            let (conflict, _) = mct_cache.class_counts();
-            let accesses = mct_cache.stats().accesses() as f64;
+                let (conflict, _) = mct_cache.class_counts();
+                let accesses = mct_cache.stats().accesses() as f64;
 
-            // Weighted speedup: each thread's shared-run IPC (against
-            // its own finish time) relative to its solo IPC.
-            let shared_ipc = |k: usize| {
-                let r = &report.per_thread[k];
-                if r.cycles == 0 {
-                    0.0
-                } else {
-                    r.instructions as f64 / r.cycles as f64
-                }
-            };
-            let weighted_speedup =
-                (shared_ipc(0) / solo[i].1 + shared_ipc(1) / solo_partner[j].1) / 2.0;
+                // Weighted speedup: each thread's shared-run IPC (against
+                // its own finish time) relative to its solo IPC.
+                let shared_ipc = |k: usize| {
+                    let r = &report.per_thread[k];
+                    if r.cycles == 0 {
+                        0.0
+                    } else {
+                        r.instructions as f64 / r.cycles as f64
+                    }
+                };
+                let weighted_speedup =
+                    (shared_ipc(0) / solo[i].1 + shared_ipc(1) / solo_partner[j].1) / 2.0;
 
-            Pairing {
-                names: (jobs[i].name().to_owned(), jobs[j].name().to_owned()),
-                conflict_rate: conflict as f64 / accesses,
-                shared_miss_rate: shared.l1_stats().miss_rate(),
-                solo_miss_rate: (solo[i].0 + solo_partner[j].0) / 2.0,
-                throughput_ipc: report.throughput_ipc(),
-                weighted_speedup,
-            }
-        }
+                Pairing {
+                    names: (jobs[i].name().to_owned(), jobs[j].name().to_owned()),
+                    conflict_rate: conflict as f64 / accesses,
+                    shared_miss_rate: shared.l1_stats().miss_rate(),
+                    solo_miss_rate: (solo[i].0 + solo_partner[j].0) / 2.0,
+                    throughput_ipc: report.throughput_ipc(),
+                    weighted_speedup,
+                }
+            },
+        )
     });
     pairings.sort_by(|a, b| a.conflict_rate.total_cmp(&b.conflict_rate));
     Sec56 { pairings, events }

@@ -110,6 +110,20 @@ pub(crate) fn pct(x: f64) -> String {
     format!("{:.1}", x * 100.0)
 }
 
+/// Formats a [`sim_core::stats::Ratio`] as a percentage, rendering a
+/// zero-denominator ratio as `n/a` instead of the misleading `0.0`
+/// that [`sim_core::stats::Ratio::value`] would produce (a workload
+/// with no capacity misses has *undefined* capacity accuracy, not a
+/// 0% one — see EXPERIMENTS.md §"Figure 1 degenerate cells").
+#[must_use]
+pub(crate) fn pct_ratio(r: sim_core::stats::Ratio) -> String {
+    if r.denominator() == 0 {
+        "n/a".to_owned()
+    } else {
+        pct(r.value())
+    }
+}
+
 /// Formats a speedup with three decimals.
 #[must_use]
 pub(crate) fn speedup(x: f64) -> String {
@@ -150,5 +164,14 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(pct(0.8849), "88.5");
         assert_eq!(speedup(1.03456), "1.035");
+    }
+
+    #[test]
+    fn zero_denominator_renders_na() {
+        let mut r = sim_core::stats::Ratio::default();
+        assert_eq!(pct_ratio(r), "n/a");
+        r.record(true);
+        r.record(false);
+        assert_eq!(pct_ratio(r), "50.0");
     }
 }

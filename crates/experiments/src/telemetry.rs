@@ -15,7 +15,7 @@
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use trace_gen::arena::TraceArena;
+use trace_gen::arena::{ArenaStats, TraceArena};
 
 /// Trace events fed into any simulator or classifier since process
 /// start, across all threads.
@@ -109,7 +109,14 @@ impl BenchReport {
     /// throughput" for field semantics.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let arena = TraceArena::global().stats();
+        self.to_json_with_arena(&TraceArena::global().stats())
+    }
+
+    /// [`Self::to_json`] against explicit arena statistics — the
+    /// variant golden tests use, since the global arena's contents
+    /// depend on what else the process has run.
+    #[must_use]
+    pub fn to_json_with_arena(&self, arena: &ArenaStats) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str("  \"schema\": \"bench-repro/1\",\n");
@@ -163,7 +170,7 @@ fn si_rate(rate: f64) -> String {
 }
 
 /// A finite f64 as a JSON number (6 significant decimals).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
     } else {
@@ -172,7 +179,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// A JSON string literal with the mandatory escapes.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,0 +1,108 @@
+//! Golden tests pinning the two machine-readable schemas the harness
+//! emits: `bench-repro/1` (from `repro --bench-json`) and `obs-repro/1`
+//! (from `repro --probe`). Downstream tooling parses these files
+//! across PRs, so any field rename, reordering, or escaping change
+//! must show up as a deliberate diff here (and a schema version bump).
+
+use experiments::probe::{render_jsonl, CellRecord, ProbeMode, RunHeader};
+use experiments::telemetry::{BenchReport, FigureBench};
+use sim_core::probe::{EpochSnapshot, Registry};
+use trace_gen::arena::ArenaStats;
+
+#[test]
+fn bench_repro_1_json_is_stable() {
+    let report = BenchReport {
+        threads: 2,
+        events_per_workload: 1000,
+        figures: vec![
+            FigureBench {
+                name: "fig1",
+                wall_seconds: 1.5,
+                events: 72_000,
+            },
+            FigureBench {
+                name: "fig\"odd\\name",
+                wall_seconds: 0.0,
+                events: 10,
+            },
+        ],
+        total_wall_seconds: 2.0,
+    };
+    let arena = ArenaStats {
+        hits: 7,
+        misses: 3,
+        traces: 3,
+        resident_events: 9_000,
+    };
+    let expected = concat!(
+        "{\n",
+        "  \"schema\": \"bench-repro/1\",\n",
+        "  \"threads\": 2,\n",
+        "  \"events_per_workload\": 1000,\n",
+        "  \"figures\": [\n",
+        "    {\"name\": \"fig1\", \"wall_seconds\": 1.500000, \"events\": 72000, \"events_per_sec\": 48000.000000},\n",
+        "    {\"name\": \"fig\\\"odd\\\\name\", \"wall_seconds\": 0.000000, \"events\": 10, \"events_per_sec\": 0.000000}\n",
+        "  ],\n",
+        "  \"total\": {\"wall_seconds\": 2.000000, \"events\": 72010, \"events_per_sec\": 36005.000000},\n",
+        "  \"arena\": {\"traces\": 3, \"resident_events\": 9000, \"replay_hits\": 7, \"materializations\": 3}\n",
+        "}\n",
+    );
+    assert_eq!(report.to_json_with_arena(&arena), expected);
+}
+
+#[test]
+fn obs_repro_1_jsonl_is_stable() {
+    let mut totals = Registry::new();
+    totals.bump("access", 4);
+    totals.bump("access.hit", 3);
+    totals.bump("classify.conflict", 2);
+    totals.record("epoch.misses", 1);
+    let epoch_cell = CellRecord {
+        target: "fig1",
+        // Exercise string escaping in the cell label.
+        cell: "16KB \"DM\"/swim".to_owned(),
+        epochs: vec![EpochSnapshot {
+            epoch: 0,
+            accesses: 4,
+            hits: 3,
+            conflict: 2,
+            capacity: 0,
+            alias: 1,
+            oracle_agree: 1,
+            oracle_total: 2,
+            hot_sets: vec![(5, 2)],
+        }],
+        totals,
+        hot_sets: vec![(5, 2)],
+        raw: None,
+    };
+    let raw_cell = CellRecord {
+        target: "fig2",
+        cell: "1 bit/swim".to_owned(),
+        epochs: Vec::new(),
+        totals: Registry::new(),
+        hot_sets: Vec::new(),
+        raw: Some("{\"kind\":\"access\",\"hit\":true}\n".to_owned()),
+    };
+    let header = RunHeader {
+        mode: ProbeMode::Epoch(4),
+        events_per_workload: 4,
+        targets: vec!["fig1", "fig2"],
+    };
+    let expected = concat!(
+        "{\"schema\":\"obs-repro/1\",\"mode\":\"epoch\",\"epoch_len\":4,\"events_per_workload\":4,\"targets\":[\"fig1\",\"fig2\"]}\n",
+        "{\"type\":\"epoch\",\"target\":\"fig1\",\"cell\":\"16KB \\\"DM\\\"/swim\",\"epoch\":0,\"accesses\":4,\"hits\":3,\"misses\":1,\"conflict\":2,\"capacity\":0,\"alias\":1,\"oracle_agree\":1,\"oracle_total\":2,\"hot_sets\":[[5,2]]}\n",
+        "{\"type\":\"cell\",\"target\":\"fig1\",\"cell\":\"16KB \\\"DM\\\"/swim\",\"epochs\":1,\"counters\":{\"access\":4,\"access.hit\":3,\"classify.conflict\":2},\"hist\":{\"epoch.misses\":{\"count\":1,\"mean\":1.000000,\"max\":1}},\"hot_sets\":[[5,2]]}\n",
+        "{\"type\":\"event\",\"target\":\"fig2\",\"cell\":\"1 bit/swim\",\"kind\":\"access\",\"hit\":true}\n",
+        "{\"type\":\"cell\",\"target\":\"fig2\",\"cell\":\"1 bit/swim\",\"epochs\":0,\"counters\":{},\"hist\":{},\"hot_sets\":[]}\n",
+        "{\"type\":\"totals\",\"cells\":2,\"counters\":{\"access\":4,\"access.hit\":3,\"classify.conflict\":2}}\n",
+    );
+    let rendered = render_jsonl(&[epoch_cell, raw_cell], &header);
+    assert_eq!(rendered, expected);
+
+    // The golden text must also round-trip through the workspace's own
+    // JSON reader (escapes included).
+    let values = experiments::jsonl::parse_lines(&rendered).expect("golden JSONL parses");
+    assert_eq!(values.len(), 6);
+    assert_eq!(values[1].str_field("cell"), Some("16KB \"DM\"/swim"));
+}

@@ -1,0 +1,100 @@
+//! Probe-layer guarantees, end to end:
+//!
+//! * every figure target produces valid, parseable `obs-repro/1` JSONL
+//!   under `--probe epoch:N`;
+//! * the rendered probe document is **byte-identical** across
+//!   `--threads 1` and `--threads 4` (cells fold their own events on
+//!   the worker thread that runs them, and records are sorted);
+//! * the stdout figure tables are unchanged by an armed probe, and a
+//!   disabled probe collects nothing;
+//! * raw mode streams parseable per-event records.
+//!
+//! One `#[test]` because both the probe configuration
+//! ([`experiments::probe::configure`]) and the worker-thread cap
+//! ([`sim_core::parallel::set_max_threads`]) are process-global.
+
+use experiments::cli::Target;
+use experiments::probe::{self, ProbeMode, RunHeader};
+
+fn run_all(events: usize) -> (Vec<String>, String) {
+    probe::configure(Some(ProbeMode::Epoch(500)));
+    let reports: Vec<String> = Target::ALL.iter().map(|t| t.run(events)).collect();
+    let records = probe::drain();
+    let header = RunHeader {
+        mode: ProbeMode::Epoch(500),
+        events_per_workload: events,
+        targets: Target::ALL.iter().map(|t| t.name()).collect(),
+    };
+    (reports, probe::render_jsonl(&records, &header))
+}
+
+#[test]
+fn probe_output_is_deterministic_and_tables_unchanged() {
+    const EVENTS: usize = 1_000;
+
+    // Reference: probes disabled, serial.
+    sim_core::parallel::set_max_threads(1);
+    probe::configure(None);
+    let plain: Vec<String> = Target::ALL.iter().map(|t| t.run(EVENTS)).collect();
+    assert!(
+        probe::drain().is_empty(),
+        "disabled probe must collect nothing"
+    );
+
+    // Probed serial run: same stdout tables, valid JSONL, every target
+    // contributes cells.
+    let (probed_reports, jsonl_serial) = run_all(EVENTS);
+    assert_eq!(
+        plain, probed_reports,
+        "an armed probe must not change the rendered figure tables"
+    );
+    let values = experiments::jsonl::parse_lines(&jsonl_serial).expect("valid obs-repro/1 JSONL");
+    assert_eq!(values[0].str_field("schema"), Some("obs-repro/1"));
+    for t in Target::ALL {
+        assert!(
+            values
+                .iter()
+                .any(|v| v.str_field("type") == Some("cell")
+                    && v.str_field("target") == Some(t.name())),
+            "{} must contribute at least one probe cell",
+            t.name()
+        );
+    }
+    // The folded access totals are real (the simulators actually
+    // emitted through the probe layer).
+    let totals = values.last().expect("totals footer");
+    assert_eq!(totals.str_field("type"), Some("totals"));
+    let access = totals
+        .get("counters")
+        .and_then(|c| c.u64_field("access"))
+        .unwrap_or(0);
+    assert!(access > 0, "no access events reached the probe sinks");
+
+    // Parallel run: byte-identical probe document.
+    sim_core::parallel::set_max_threads(4);
+    let (_, jsonl_parallel) = run_all(EVENTS);
+    assert_eq!(
+        jsonl_serial, jsonl_parallel,
+        "probe JSONL must be byte-identical at any thread count"
+    );
+
+    // Raw mode: per-event records parse and carry cell context.
+    probe::configure(Some(ProbeMode::Raw));
+    let _ = Target::Fig1.run(200);
+    let records = probe::drain();
+    assert!(!records.is_empty());
+    let header = RunHeader {
+        mode: ProbeMode::Raw,
+        events_per_workload: 200,
+        targets: vec![Target::Fig1.name()],
+    };
+    let raw = probe::render_jsonl(&records, &header);
+    let values = experiments::jsonl::parse_lines(&raw).expect("valid raw JSONL");
+    assert!(values
+        .iter()
+        .any(|v| v.str_field("type") == Some("event") && v.str_field("kind").is_some()));
+
+    // Leave the process clean for any test that runs after us.
+    probe::configure(None);
+    sim_core::parallel::set_max_threads(0);
+}

@@ -4,6 +4,7 @@ use assist_buffer::{AssistBuffer, BufferPorts};
 use cache_model::{CacheGeometry, ConfigError, L2MemoryConfig};
 use cpu_model::{MemResponse, MemTimings, MemorySystem, Plumbing};
 use mct::{ClassifyingCache, ConflictFilter, TagBits};
+use sim_core::probe;
 use sim_core::{Cycle, LineAddr};
 use trace_gen::MemoryAccess;
 
@@ -212,6 +213,7 @@ impl MemorySystem for NextLineSystem {
         let l1_done = grant + self.plumbing.timings().l1_latency;
         if self.l1.probe(line).is_some() {
             self.stats.d_hits += 1;
+            probe::emit(probe::ProbeEvent::Access { hit: true });
             return MemResponse::at(l1_done);
         }
 
@@ -221,6 +223,7 @@ impl MemorySystem for NextLineSystem {
             // Prefetch buffer hit: the line moves into the cache and
             // the next line is prefetched (paper §5.2).
             self.stats.buffer_hits += 1;
+            probe::emit(probe::ProbeEvent::Access { hit: true });
             let word = self.ports.word_read(l1_done);
             let ready = (word + self.plumbing.timings().buffer_extra).max(arrival.ready);
             let promote = self.ports.line_read(ready);
@@ -234,12 +237,19 @@ impl MemorySystem for NextLineSystem {
 
         // Demand miss.
         self.stats.demand_misses += 1;
+        probe::emit(probe::ProbeEvent::Access { hit: false });
         let ready = self.plumbing.fetch_demand(line, grant);
         let evicted = self.l1.fill(line, class.is_conflict());
         let suppressed = self
             .cfg
             .filter
             .is_some_and(|f| f.fires(class.is_conflict(), evicted.is_some_and(|e| e.conflict_bit)));
+        if self.cfg.filter.is_some() {
+            probe::emit(probe::ProbeEvent::Filter {
+                unit: probe::FilterUnit::Prefetch,
+                fired: suppressed,
+            });
+        }
         if suppressed {
             self.stats.filtered += 1;
         } else {

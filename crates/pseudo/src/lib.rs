@@ -42,6 +42,7 @@
 use cache_model::{CacheGeometry, ConfigError};
 use cpu_model::{MemResponse, MemorySystem, Plumbing};
 use mct::{MissClassificationTable, TagBits};
+use sim_core::probe;
 use sim_core::{Cycle, LineAddr};
 use trace_gen::MemoryAccess;
 
@@ -227,6 +228,12 @@ impl PseudoAssocSystem {
         // §5.4: the conflict bit is set only if the new line matches
         // the tag remembered at its *primary* location.
         let incoming_bit = self.table.classify(i, self.geom.tag(line)).is_conflict();
+        if incoming_bit && probe::active() {
+            probe::emit(probe::ProbeEvent::ConflictBit {
+                set: i as u32,
+                set_bit: true,
+            });
+        }
 
         let new_slot = Slot {
             line,
@@ -249,30 +256,61 @@ impl PseudoAssocSystem {
                 // Choose a victim among the two candidates.
                 let evict_primary = match self.cfg.policy {
                     PseudoPolicy::Lru => a.last_use <= b.last_use,
-                    PseudoPolicy::ConflictBit => match (a.conflict_bit, b.conflict_bit) {
-                        // Exactly one is protected: evict the other and
-                        // clear the survivor's bit (temporary
-                        // advantage).
-                        (true, false) => {
-                            self.slots[i].as_mut().expect("occupied").conflict_bit = false;
-                            false
-                        }
-                        (false, true) => {
-                            self.slots[j].as_mut().expect("occupied").conflict_bit = false;
-                            true
-                        }
-                        // Both or neither: LRU, bits untouched.
-                        _ => a.last_use <= b.last_use,
-                    },
+                    PseudoPolicy::ConflictBit => {
+                        let choice = match (a.conflict_bit, b.conflict_bit) {
+                            // Exactly one is protected: evict the other
+                            // and clear the survivor's bit (temporary
+                            // advantage).
+                            (true, false) => {
+                                self.slots[i].as_mut().expect("occupied").conflict_bit = false;
+                                if probe::active() {
+                                    probe::emit(probe::ProbeEvent::ConflictBit {
+                                        set: i as u32,
+                                        set_bit: false,
+                                    });
+                                }
+                                Some(false)
+                            }
+                            (false, true) => {
+                                self.slots[j].as_mut().expect("occupied").conflict_bit = false;
+                                if probe::active() {
+                                    probe::emit(probe::ProbeEvent::ConflictBit {
+                                        set: j as u32,
+                                        set_bit: false,
+                                    });
+                                }
+                                Some(true)
+                            }
+                            // Both or neither: LRU, bits untouched.
+                            _ => None,
+                        };
+                        probe::emit(probe::ProbeEvent::Filter {
+                            unit: probe::FilterUnit::PseudoProtect,
+                            fired: choice.is_some(),
+                        });
+                        choice.unwrap_or(a.last_use <= b.last_use)
+                    }
                 };
                 if evict_primary {
                     // The line at index i leaves the cache.
                     self.table.record_eviction(i, self.geom.tag(a.line));
+                    if a.conflict_bit && probe::active() {
+                        probe::emit(probe::ProbeEvent::ConflictBit {
+                            set: i as u32,
+                            set_bit: false,
+                        });
+                    }
                     self.slots[i] = Some(new_slot);
                 } else {
                     // The line at index j leaves; the old primary
                     // moves to the alternate location.
                     self.table.record_eviction(j, self.geom.tag(b.line));
+                    if b.conflict_bit && probe::active() {
+                        probe::emit(probe::ProbeEvent::ConflictBit {
+                            set: j as u32,
+                            set_bit: false,
+                        });
+                    }
                     self.slots[j] = self.slots[i];
                     self.slots[i] = Some(new_slot);
                 }
@@ -296,6 +334,7 @@ impl MemorySystem for PseudoAssocSystem {
             if slot.line == line {
                 slot.last_use = clock;
                 self.stats.primary_hits += 1;
+                probe::emit(probe::ProbeEvent::Access { hit: true });
                 return MemResponse::at(primary_done);
             }
         }
@@ -303,6 +342,7 @@ impl MemorySystem for PseudoAssocSystem {
             // Secondary hit: serve slower and swap the two locations
             // so the hot line becomes primary.
             self.stats.secondary_hits += 1;
+            probe::emit(probe::ProbeEvent::Access { hit: true });
             let ready = primary_done + self.cfg.secondary_extra;
             self.plumbing.l1_occupy(line, ready, 2);
             self.slots.swap(i, j);
@@ -314,6 +354,7 @@ impl MemorySystem for PseudoAssocSystem {
 
         // Miss.
         self.stats.misses += 1;
+        probe::emit(probe::ProbeEvent::Access { hit: false });
         let ready = self.plumbing.fetch_demand(line, grant);
         self.fill_after_miss(line, i);
         MemResponse::at(ready)

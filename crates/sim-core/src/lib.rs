@@ -11,6 +11,8 @@
 //!   ([`rng::SplitMix64`], [`rng::XorShift64Star`]);
 //! * [`parallel`] — the order-preserving fork/join scheduler every
 //!   experiment fans independent cells out with;
+//! * [`probe`] — zero-overhead-when-disabled observability probes
+//!   (event sinks, per-epoch folds, named counter registry);
 //! * [`stats`] — counters, ratios and accumulators used to report
 //!   hit rates and speedups.
 //!
@@ -31,6 +33,7 @@
 mod addr;
 mod cycle;
 pub mod parallel;
+pub mod probe;
 pub mod rng;
 pub mod stats;
 

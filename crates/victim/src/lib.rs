@@ -42,6 +42,7 @@ use assist_buffer::{AssistBuffer, BufferPorts};
 use cache_model::{CacheGeometry, ConfigError};
 use cpu_model::{MemResponse, MemorySystem, Plumbing};
 use mct::{ClassifyingCache, ConflictFilter, TagBits};
+use sim_core::probe;
 use sim_core::Cycle;
 use trace_gen::MemoryAccess;
 
@@ -250,6 +251,7 @@ impl MemorySystem for VictimSystem {
         let l1_done = grant + self.plumbing.timings().l1_latency;
         if self.l1.probe(line).is_some() {
             self.stats.d_hits += 1;
+            probe::emit(probe::ProbeEvent::Access { hit: true });
             return MemResponse::at(l1_done);
         }
 
@@ -260,11 +262,18 @@ impl MemorySystem for VictimSystem {
             // Victim buffer hit: data comes from the buffer one cycle
             // after the L1 miss is known.
             self.stats.v_hits += 1;
+            probe::emit(probe::ProbeEvent::Access { hit: true });
             let word = self.ports.word_read(l1_done);
             let ready = word + self.plumbing.timings().buffer_extra;
 
             let skip_swap = self.cfg.policy.filters_swaps()
                 && self.cfg.filter.fires(class.is_conflict(), buffered_bit);
+            if self.cfg.policy.filters_swaps() {
+                probe::emit(probe::ProbeEvent::Filter {
+                    unit: probe::FilterUnit::VictimSwap,
+                    fired: skip_swap,
+                });
+            }
             if skip_swap {
                 // Leave the line in the buffer; just refresh recency.
                 let _ = self.buffer.probe(line);
@@ -282,6 +291,7 @@ impl MemorySystem for VictimSystem {
             return MemResponse::at(ready);
         }
         // Miss everywhere: fetch from L2/memory.
+        probe::emit(probe::ProbeEvent::Access { hit: false });
         let _ = self.buffer.probe(line); // count the buffer miss
         let ready = self.plumbing.fetch_demand(line, grant);
         if let Some(evicted) = self.l1.fill(line, class.is_conflict()) {
@@ -290,6 +300,14 @@ impl MemorySystem for VictimSystem {
                     .cfg
                     .filter
                     .fires(class.is_conflict(), evicted.conflict_bit);
+            if self.cfg.policy.filters_fills() {
+                // `fired` = the filter let the fill through (the
+                // selective-fill predicate matched).
+                probe::emit(probe::ProbeEvent::Filter {
+                    unit: probe::FilterUnit::VictimFill,
+                    fired: fill_buffer,
+                });
+            }
             if fill_buffer {
                 self.stats.fills += 1;
                 let _ = self.ports.line_write(ready);
