@@ -141,6 +141,62 @@ fn bench_trace_supply(c: &mut Criterion) {
     g.finish();
 }
 
+/// The flat SoA cache kernel in isolation: probe-heavy (hot loop is
+/// `find_slot` over resident tags) and fill-heavy (hot loop is victim
+/// scan + slot replace) over two address patterns — `dense` walks
+/// distinct sets sequentially (the spatial-locality best case), while
+/// `conflict` hammers a single set with `2 × assoc` competing tags
+/// (every fill evicts, every probe scans a full set and misses half
+/// the time). Kernel regressions show up here before they blur into
+/// the figure drivers.
+fn bench_cache_kernel(c: &mut Criterion) {
+    let geom = CacheGeometry::new(16 * 1024, 2, 64).unwrap();
+    let num_sets = geom.num_sets() as u64;
+    let assoc = u64::from(geom.associativity());
+    // Dense: every set touched in turn, one tag per set.
+    let dense: Vec<sim_core::LineAddr> = (0..N as u64)
+        .map(|i| sim_core::LineAddr::new(i % num_sets))
+        .collect();
+    // Conflict-heavy: 2×assoc tags all mapping to set 0.
+    let conflict: Vec<sim_core::LineAddr> = (0..N as u64)
+        .map(|i| sim_core::LineAddr::new((i % (2 * assoc)) * num_sets))
+        .collect();
+
+    let mut g = c.benchmark_group("cache_kernel");
+    g.throughput(Throughput::Elements(N as u64));
+    for (pattern, refs) in [("dense", &dense), ("conflict", &conflict)] {
+        g.bench_function(&format!("probe_{pattern}"), |b| {
+            // Pre-fill once; the timed loop is pure probe traffic.
+            let mut cache: SetAssocCache<()> = SetAssocCache::new(geom);
+            for &line in refs.iter() {
+                if cache.probe(line).is_none() {
+                    cache.fill(line, ());
+                }
+            }
+            b.iter(|| {
+                let mut hits = 0u64;
+                for &line in refs.iter() {
+                    hits += u64::from(cache.probe(black_box(line)).is_some());
+                }
+                black_box(hits)
+            })
+        });
+        g.bench_function(&format!("fill_{pattern}"), |b| {
+            b.iter(|| {
+                let mut cache: SetAssocCache<u32> = SetAssocCache::new(geom);
+                let mut evictions = 0u64;
+                for &line in refs.iter() {
+                    if cache.probe(line).is_none() {
+                        evictions += u64::from(cache.fill(line, 7).is_some());
+                    }
+                }
+                black_box(evictions)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_full_pipeline(c: &mut Criterion) {
     let w = workloads::by_name("gcc").expect("gcc analog exists");
     let mut src = w.source(7);
@@ -160,6 +216,6 @@ fn bench_full_pipeline(c: &mut Criterion) {
 criterion_group! {
     name = substrate;
     config = Criterion::default().sample_size(10);
-    targets = bench_plain_cache, bench_classifying_cache, bench_probe_null, bench_oracle, bench_trace_supply, bench_full_pipeline,
+    targets = bench_plain_cache, bench_classifying_cache, bench_probe_null, bench_oracle, bench_trace_supply, bench_cache_kernel, bench_full_pipeline,
 }
 criterion_main!(substrate);

@@ -37,25 +37,25 @@ pub struct Eviction<M> {
     pub meta: M,
 }
 
-#[derive(Debug, Clone)]
-struct Way<M> {
-    tag: u64,
-    last_use: u64,
-    filled_at: u64,
-    meta: M,
-}
-
-#[derive(Debug, Clone, Default)]
-struct CacheSet<M> {
-    ways: Vec<Way<M>>,
-}
-
 /// A set-associative, write-allocate cache with true-LRU replacement
 /// and per-line metadata of type `M`.
 ///
 /// Timing lives elsewhere (the architecture models); this structure
 /// answers only *what is resident* and *what gets displaced*. Probes
 /// update LRU state, [`SetAssocCache::peek`] does not.
+///
+/// Internally the cache is a flat structure-of-arrays kernel: one
+/// contiguous allocation each for tags, replacement stamps and line
+/// metadata, indexed by `set * assoc + way`, plus a per-set occupancy
+/// count. Ways `0..occupancy` of a set are resident (fills append,
+/// [`Self::invalidate`] swap-removes), so a probe is a short linear
+/// scan over adjacent words — the previous per-set `Vec<Way>` layout
+/// paid one heap allocation per set and a pointer chase per access.
+/// The flat arrays are recycled through a thread-local pool
+/// ([`crate::pool`]) on drop, so experiment drivers that build one
+/// cache per cell reuse warm pages instead of faulting fresh ones in
+/// every time. `reference::RefSetAssocCache` preserves the original
+/// per-set implementation as a differential-test oracle.
 ///
 /// # Examples
 ///
@@ -78,7 +78,20 @@ struct CacheSet<M> {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<M = ()> {
     geom: CacheGeometry,
-    sets: Vec<CacheSet<M>>,
+    /// Associativity, cached as `usize` for the indexing hot path.
+    assoc: usize,
+    /// Tag per way slot, indexed `set * assoc + way`.
+    tags: Box<[u64]>,
+    /// Replacement stamp per way slot (victim = minimum). Under LRU
+    /// the stamp is refreshed on every hit; under FIFO it is written
+    /// only at fill time; Random never reads it.
+    stamps: Box<[u64]>,
+    /// Metadata per way slot; `Some` exactly for resident ways.
+    meta: Box<[Option<M>]>,
+    /// Resident ways per set; ways `0..occ[set]` are valid.
+    occ: Box<[u32]>,
+    /// Total resident lines (sum of `occ`).
+    resident: usize,
     clock: u64,
     stats: CacheStats,
     replacement: Replacement,
@@ -97,15 +110,18 @@ impl<M> SetAssocCache<M> {
     /// Creates an empty cache with an explicit replacement policy.
     #[must_use]
     pub fn with_replacement(geom: CacheGeometry, replacement: Replacement) -> Self {
-        let mut sets = Vec::with_capacity(geom.num_sets());
-        for _ in 0..geom.num_sets() {
-            sets.push(CacheSet {
-                ways: Vec::with_capacity(geom.associativity() as usize),
-            });
-        }
+        let slots = geom.num_lines();
         SetAssocCache {
             geom,
-            sets,
+            assoc: geom.associativity() as usize,
+            // Pooled arrays may hold stale values from a previous
+            // cache; the kernel never reads slots past a set's
+            // occupancy, so only `occ` needs zeroing.
+            tags: crate::pool::take_u64(slots),
+            stamps: crate::pool::take_u64(slots),
+            meta: (0..slots).map(|_| None).collect(),
+            occ: crate::pool::take_u32_zeroed(geom.num_sets()),
+            resident: 0,
             clock: 0,
             stats: CacheStats::default(),
             replacement,
@@ -133,19 +149,19 @@ impl<M> SetAssocCache<M> {
     }
 
     /// Index of the way a fill would displace in a full `set`.
+    ///
+    /// Stamps are globally unique (the clock advances on every probe
+    /// and fill), so the minimum scans below have no ties and the
+    /// victim is independent of scan order.
     fn victim_way(&self, set_index: usize) -> usize {
-        let ways = &self.sets[set_index].ways;
+        let base = set_index * self.assoc;
+        let occ = self.occ[set_index] as usize;
+        debug_assert!(occ > 0, "victim choice in an empty set");
         match self.replacement {
-            Replacement::Lru => ways
+            Replacement::Lru | Replacement::Fifo => self.stamps[base..base + occ]
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, w)| w.last_use)
-                .map(|(i, _)| i)
-                .expect("full set has ways"),
-            Replacement::Fifo => ways
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.filled_at)
+                .min_by_key(|&(_, &s)| s)
                 .map(|(i, _)| i)
                 .expect("full set has ways"),
             Replacement::Random => {
@@ -155,9 +171,20 @@ impl<M> SetAssocCache<M> {
                 let mut rng = sim_core::rng::SplitMix64::new(
                     self.evictions ^ (set_index as u64).rotate_left(32),
                 );
-                rng.next_below(ways.len() as u64) as usize
+                rng.next_below(occ as u64) as usize
             }
         }
+    }
+
+    /// Slot index of the resident way holding `tag` in `set`, if any.
+    #[inline]
+    fn find_slot(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.assoc;
+        let occ = self.occ[set] as usize;
+        self.tags[base..base + occ]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|way| base + way)
     }
 
     /// The cache's geometry.
@@ -177,16 +204,24 @@ impl<M> SetAssocCache<M> {
     /// Returns mutable access to the line's metadata on a hit so
     /// callers can, for instance, flip the conflict bit in place.
     pub fn probe(&mut self, line: LineAddr) -> Option<&mut M> {
-        self.clock += 1;
-        let clock = self.clock;
         let set = self.geom.set_index(line);
         let tag = self.geom.tag(line);
-        let way = self.sets[set].ways.iter_mut().find(|w| w.tag == tag);
-        match way {
-            Some(w) => {
+        self.probe_at(set, tag)
+    }
+
+    /// [`Self::probe`] with the line already decomposed into its set
+    /// index and tag — the kernel entry point decomposed-trace replay
+    /// feeds, skipping per-access address arithmetic.
+    pub fn probe_at(&mut self, set: usize, tag: u64) -> Option<&mut M> {
+        self.clock += 1;
+        match self.find_slot(set, tag) {
+            Some(slot) => {
                 self.stats.record_hit();
-                w.last_use = clock;
-                Some(&mut w.meta)
+                // FIFO victims ignore recency; Random reads no stamps.
+                if matches!(self.replacement, Replacement::Lru) {
+                    self.stamps[slot] = self.clock;
+                }
+                self.meta[slot].as_mut()
             }
             None => {
                 self.stats.record_miss();
@@ -198,13 +233,14 @@ impl<M> SetAssocCache<M> {
     /// Looks a line up without touching recency or statistics.
     #[must_use]
     pub fn peek(&self, line: LineAddr) -> Option<&M> {
-        let set = self.geom.set_index(line);
-        let tag = self.geom.tag(line);
-        self.sets[set]
-            .ways
-            .iter()
-            .find(|w| w.tag == tag)
-            .map(|w| &w.meta)
+        self.peek_at(self.geom.set_index(line), self.geom.tag(line))
+    }
+
+    /// [`Self::peek`] with the line already decomposed.
+    #[must_use]
+    pub fn peek_at(&self, set: usize, tag: u64) -> Option<&M> {
+        self.find_slot(set, tag)
+            .and_then(|slot| self.meta[slot].as_ref())
     }
 
     /// Returns `true` if the line is resident.
@@ -225,23 +261,28 @@ impl<M> SetAssocCache<M> {
     /// within a set).
     pub fn fill(&mut self, line: LineAddr, meta: M) -> Option<Eviction<M>> {
         debug_assert!(!self.contains(line), "double fill of {line}");
+        self.fill_at(self.geom.set_index(line), self.geom.tag(line), meta)
+    }
+
+    /// [`Self::fill`] with the line already decomposed into its set
+    /// index and tag.
+    pub fn fill_at(&mut self, set_index: usize, tag: u64, meta: M) -> Option<Eviction<M>> {
         self.clock += 1;
         let clock = self.clock;
-        let set_index = self.geom.set_index(line);
-        let tag = self.geom.tag(line);
-        let assoc = self.geom.associativity() as usize;
         if self.probed && probe::active() {
             probe::emit(probe::ProbeEvent::SetFill {
                 set: set_index as u32,
             });
         }
-        if self.sets[set_index].ways.len() < assoc {
-            self.sets[set_index].ways.push(Way {
-                tag,
-                last_use: clock,
-                filled_at: clock,
-                meta,
-            });
+        let base = set_index * self.assoc;
+        let occ = self.occ[set_index] as usize;
+        if occ < self.assoc {
+            let slot = base + occ;
+            self.tags[slot] = tag;
+            self.stamps[slot] = clock;
+            self.meta[slot] = Some(meta);
+            self.occ[set_index] += 1;
+            self.resident += 1;
             return None;
         }
         // Displace the policy's victim.
@@ -252,12 +293,13 @@ impl<M> SetAssocCache<M> {
                 set: set_index as u32,
             });
         }
-        let victim = &mut self.sets[set_index].ways[way];
-        let evicted_tag = victim.tag;
-        let evicted_meta = std::mem::replace(&mut victim.meta, meta);
-        victim.tag = tag;
-        victim.last_use = clock;
-        victim.filled_at = clock;
+        let slot = base + way;
+        let evicted_tag = self.tags[slot];
+        let evicted_meta = self.meta[slot]
+            .replace(meta)
+            .expect("resident way has meta");
+        self.tags[slot] = tag;
+        self.stamps[slot] = clock;
         Some(Eviction {
             line: self.geom.line_from_parts(evicted_tag, set_index),
             meta: evicted_meta,
@@ -271,9 +313,19 @@ impl<M> SetAssocCache<M> {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<M> {
         let set = self.geom.set_index(line);
         let tag = self.geom.tag(line);
-        let ways = &mut self.sets[set].ways;
-        let pos = ways.iter().position(|w| w.tag == tag)?;
-        Some(ways.swap_remove(pos).meta)
+        let slot = self.find_slot(set, tag)?;
+        let removed = self.meta[slot].take();
+        // Swap-remove: the last resident way drops into the vacated
+        // slot, matching `Vec::swap_remove` in the reference layout.
+        let last = set * self.assoc + self.occ[set] as usize - 1;
+        if slot != last {
+            self.tags[slot] = self.tags[last];
+            self.stamps[slot] = self.stamps[last];
+            self.meta[slot] = self.meta[last].take();
+        }
+        self.occ[set] -= 1;
+        self.resident -= 1;
+        removed
     }
 
     /// The line that would be displaced if a fill hit this set now.
@@ -282,33 +334,49 @@ impl<M> SetAssocCache<M> {
     #[must_use]
     pub fn eviction_candidate(&self, line: LineAddr) -> Option<LineAddr> {
         let set_index = self.geom.set_index(line);
-        let set = &self.sets[set_index];
-        if set.ways.len() < self.geom.associativity() as usize {
+        if (self.occ[set_index] as usize) < self.assoc {
             return None;
         }
         let way = self.victim_way(set_index);
-        Some(self.geom.line_from_parts(set.ways[way].tag, set_index))
+        let tag = self.tags[set_index * self.assoc + way];
+        Some(self.geom.line_from_parts(tag, set_index))
     }
 
     /// Number of resident lines.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.ways.len()).sum()
+        self.resident
     }
 
     /// `true` if no lines are resident.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.resident == 0
     }
 
-    /// Iterates over all resident lines and their metadata.
+    /// Iterates over all resident lines and their metadata, set by set
+    /// in way order.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &M)> + '_ {
-        self.sets.iter().enumerate().flat_map(move |(set, s)| {
-            s.ways
-                .iter()
-                .map(move |w| (self.geom.line_from_parts(w.tag, set), &w.meta))
+        (0..self.occ.len()).flat_map(move |set| {
+            let base = set * self.assoc;
+            (base..base + self.occ[set] as usize).map(move |slot| {
+                (
+                    self.geom.line_from_parts(self.tags[slot], set),
+                    self.meta[slot].as_ref().expect("resident way has meta"),
+                )
+            })
         })
+    }
+}
+
+impl<M> Drop for SetAssocCache<M> {
+    fn drop(&mut self) {
+        // Hand the flat arrays back to the thread-local pool so the
+        // next cache of the same geometry reuses warm pages. The
+        // metadata array is type-specific and dropped normally.
+        crate::pool::recycle_u64(std::mem::take(&mut self.tags));
+        crate::pool::recycle_u64(std::mem::take(&mut self.stamps));
+        crate::pool::recycle_u32(std::mem::take(&mut self.occ));
     }
 }
 

@@ -39,6 +39,8 @@ mod geometry;
 mod hierarchy;
 mod mshr;
 pub mod oracle;
+mod pool;
+pub mod reference;
 mod stats;
 
 pub use bank::BankedPorts;

@@ -13,8 +13,9 @@
 //! scoring the MCT; [`OracleClass::is_conflict`] captures that split.
 
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
+use sim_core::hash::{FxHashMap, FxHashSet};
 use sim_core::LineAddr;
 
 /// The classic classification of one cache miss.
@@ -45,7 +46,7 @@ impl OracleClass {
 struct FullyAssocLru {
     capacity_lines: usize,
     /// line -> latest stamp for that line.
-    stamps: HashMap<LineAddr, u64>,
+    stamps: FxHashMap<LineAddr, u64>,
     /// access order, possibly containing stale entries.
     order: VecDeque<(LineAddr, u64)>,
     clock: u64,
@@ -56,7 +57,7 @@ impl FullyAssocLru {
         assert!(capacity_lines > 0, "oracle cache needs capacity");
         FullyAssocLru {
             capacity_lines,
-            stamps: HashMap::with_capacity(capacity_lines * 2),
+            stamps: FxHashMap::with_capacity_and_hasher(capacity_lines * 2, Default::default()),
             order: VecDeque::with_capacity(capacity_lines * 2),
             clock: 0,
         }
@@ -142,7 +143,7 @@ impl FullyAssocLru {
 #[derive(Debug, Clone)]
 pub struct ThreeCClassifier {
     shadow: FullyAssocLru,
-    seen: HashSet<LineAddr>,
+    seen: FxHashSet<LineAddr>,
 }
 
 impl ThreeCClassifier {
@@ -156,7 +157,7 @@ impl ThreeCClassifier {
     pub fn new(capacity_lines: usize) -> Self {
         ThreeCClassifier {
             shadow: FullyAssocLru::new(capacity_lines),
-            seen: HashSet::new(),
+            seen: FxHashSet::default(),
         }
     }
 

@@ -114,9 +114,19 @@ impl<T: EvictionClassifier> AccuracyEvaluator<T> {
 
     /// Observes one reference (the oracle must see hits too).
     pub fn observe(&mut self, line: LineAddr) {
+        let geom = *self.cache.geometry();
+        self.observe_parts(geom.set_index(line), geom.tag(line));
+    }
+
+    /// [`Self::observe`] with the line already split into set index
+    /// and tag (decomposed replay). The oracle still sees the whole
+    /// line, reconstructed with `line_from_parts` — identical to the
+    /// address the parts came from.
+    pub fn observe_parts(&mut self, set: usize, tag: u64) {
         self.report.accesses += 1;
+        let line = self.cache.geometry().line_from_parts(tag, set);
         let oracle_class = self.oracle.observe(line);
-        let outcome = self.cache.access(line);
+        let outcome = self.cache.access_parts(set, tag);
         let Some(miss) = outcome.miss() else { return };
         self.report.misses += 1;
         let agree = if oracle_class.is_conflict() {

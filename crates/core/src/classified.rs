@@ -158,17 +158,27 @@ impl<T: EvictionClassifier> ClassifyingCache<T> {
     /// One full access: probe, and on a miss classify + fill + record
     /// the eviction.
     pub fn access(&mut self, line: LineAddr) -> AccessOutcome {
-        if let Some(bit) = self.cache.probe(line) {
+        let geom = *self.cache.geometry();
+        self.access_parts(geom.set_index(line), geom.tag(line))
+    }
+
+    /// [`Self::access`] with the line already split into set index and
+    /// tag — the decomposed-replay fast path. Equivalent to
+    /// `access(geometry.line_from_parts(tag, set))`, without
+    /// re-deriving the parts.
+    pub fn access_parts(&mut self, set: usize, tag: u64) -> AccessOutcome {
+        if let Some(bit) = self.cache.probe_at(set, tag) {
+            let conflict_bit = *bit;
             probe::emit(probe::ProbeEvent::Access { hit: true });
-            return AccessOutcome::Hit { conflict_bit: *bit };
+            return AccessOutcome::Hit { conflict_bit };
         }
         probe::emit(probe::ProbeEvent::Access { hit: false });
-        let class = self.classify_miss(line);
+        let class = self.table.classify(set, tag);
         match class {
             MissClass::Conflict => self.conflict_misses += 1,
             MissClass::Capacity => self.capacity_misses += 1,
         }
-        let evicted = self.fill(line, class.is_conflict());
+        let evicted = self.fill_parts(set, tag, class.is_conflict());
         AccessOutcome::Miss(MissDetail { class, evicted })
     }
 
@@ -204,24 +214,34 @@ impl<T: EvictionClassifier> ClassifyingCache<T> {
     /// Fills `line` with the given conflict bit; any displaced line is
     /// recorded in the MCT and returned.
     pub fn fill(&mut self, line: LineAddr, conflict_bit: bool) -> Option<EvictedLine> {
+        let geom = *self.cache.geometry();
+        self.fill_parts(geom.set_index(line), geom.tag(line), conflict_bit)
+    }
+
+    /// [`Self::fill`] with the line already split into set index and
+    /// tag. The displaced line (always from the same set) is recorded
+    /// in the MCT and returned.
+    pub fn fill_parts(&mut self, set: usize, tag: u64, conflict_bit: bool) -> Option<EvictedLine> {
+        debug_assert!(
+            self.cache.peek_at(set, tag).is_none(),
+            "double fill of set {set} tag {tag:#x}"
+        );
         if conflict_bit && probe::active() {
             probe::emit(probe::ProbeEvent::ConflictBit {
-                set: self.cache.geometry().set_index(line) as u32,
+                set: set as u32,
                 set_bit: true,
             });
         }
-        let evicted = self.cache.fill(line, conflict_bit);
+        let evicted = self.cache.fill_at(set, tag, conflict_bit);
         evicted.map(|ev| {
-            let geom = self.cache.geometry();
-            let set = geom.set_index(ev.line);
-            let tag = geom.tag(ev.line);
+            let evicted_tag = self.cache.geometry().tag(ev.line);
             if ev.meta && probe::active() {
                 probe::emit(probe::ProbeEvent::ConflictBit {
                     set: set as u32,
                     set_bit: false,
                 });
             }
-            self.table.record_eviction(set, tag);
+            self.table.record_eviction(set, evicted_tag);
             EvictedLine {
                 line: ev.line,
                 conflict_bit: ev.meta,

@@ -87,11 +87,9 @@ fn depth_sweep(events: usize) -> Vec<DepthPoint> {
                 || {
                     let dir = ShadowDirectory::new(geom.num_sets(), TagBits::Full, depth);
                     let mut eval = AccuracyEvaluator::with_classifier(geom, dir);
-                    let trace = crate::trace_for(&w, events);
+                    let trace = crate::decomposed_for(&w, &geom, events);
                     crate::telemetry::record_events(events as u64);
-                    for event in trace.iter() {
-                        eval.observe(event.access.addr.line(geom.line_size()));
-                    }
+                    trace.for_each(|set, tag| eval.observe_parts(set, tag));
                     eval.finish()
                 },
             );

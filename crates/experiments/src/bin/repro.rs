@@ -89,8 +89,11 @@ fn main() -> ExitCode {
         println!("{rendered}\n");
     }
 
+    // Record the worker count the run actually used: with no --threads
+    // flag the scheduler resolves to the machine's core count, and the
+    // bench JSON must say so rather than a placeholder 0.
     let report = BenchReport {
-        threads: opts.threads.unwrap_or(0),
+        threads: sim_core::parallel::effective_threads(usize::MAX),
         events_per_workload: events,
         figures: results.into_iter().map(|(_, bench)| bench).collect(),
         total_wall_seconds,

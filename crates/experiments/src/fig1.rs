@@ -57,11 +57,9 @@ pub fn configurations() -> Vec<(String, CacheGeometry)> {
 
 fn evaluate(workload: &Workload, geom: CacheGeometry, events: usize) -> AccuracyReport {
     let mut eval = AccuracyEvaluator::new(geom, TagBits::Full);
-    let trace = crate::trace_for(workload, events);
+    let trace = crate::decomposed_for(workload, &geom, events);
     crate::telemetry::record_events(events as u64);
-    for event in trace.iter() {
-        eval.observe(event.access.addr.line(geom.line_size()));
-    }
+    trace.for_each(|set, tag| eval.observe_parts(set, tag));
     eval.finish()
 }
 

@@ -56,11 +56,9 @@ pub fn run(events: usize) -> Fig2 {
                 || format!("{bits}/{}", w.name()),
                 || {
                     let mut eval = AccuracyEvaluator::new(geom, bits);
-                    let trace = crate::trace_for(&w, events);
+                    let trace = crate::decomposed_for(&w, &geom, events);
                     crate::telemetry::record_events(events as u64);
-                    for event in trace.iter() {
-                        eval.observe(event.access.addr.line(64));
-                    }
+                    trace.for_each(|set, tag| eval.observe_parts(set, tag));
                     eval.finish()
                 },
             );

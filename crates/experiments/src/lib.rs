@@ -21,7 +21,11 @@
 //! `BENCH_repro.json` the perf trajectory is tracked with). Workload
 //! traces are materialized once per `(workload, seed, events)` in the
 //! shared [`trace_gen::arena`] — see [`trace_for`] — and replayed by
-//! every cell, so no driver pays trace synthesis more than once.
+//! every cell, so no driver pays trace synthesis more than once. The
+//! accuracy figures go one step further with [`decomposed_for`]: the
+//! per-event `(set, tag)` split is precomputed once per (workload,
+//! geometry) and streamed straight into the cache kernel's `*_at`
+//! entry points.
 //!
 //! Every driver takes the number of trace events per workload, so the
 //! same code serves quick smoke tests, Criterion benches, and the full
@@ -61,7 +65,9 @@ pub use table::Table;
 
 use std::sync::Arc;
 
+use cache_model::CacheGeometry;
 use trace_gen::arena::{ArenaKey, TraceArena};
+use trace_gen::decomposed::{DecomposedArena, DecomposedTrace};
 use trace_gen::TraceEvent;
 
 /// Default events per workload for full experiment runs.
@@ -99,6 +105,27 @@ pub fn trace_for_seed(
     TraceArena::global().get_or_materialize(ArenaKey::new(workload.name(), seed, events), || {
         workload.source(seed)
     })
+}
+
+/// The shared trace for `(workload, SEED, events)` split into per-event
+/// `(set, tag)` pairs for `geom`'s indexing scheme, decomposed once in
+/// the global [`DecomposedArena`] and replayed by every cell that
+/// evaluates a cache with that geometry. The accuracy figures (fig1,
+/// fig2, the shadow-depth ablation) run many models per (workload,
+/// geometry) pair, so address decomposition happens once instead of
+/// once per cell per event.
+#[must_use]
+pub fn decomposed_for(
+    workload: &workloads::Workload,
+    geom: &CacheGeometry,
+    events: usize,
+) -> Arc<DecomposedTrace> {
+    DecomposedArena::global().get_or_decompose(
+        ArenaKey::new(workload.name(), SEED, events),
+        geom.line_size(),
+        geom.set_bits(),
+        || trace_for(workload, events),
+    )
 }
 
 /// Runs a workload trace through a memory system under the paper's

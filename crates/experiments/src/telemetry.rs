@@ -73,7 +73,9 @@ impl FigureBench {
 /// The full machine-readable run record.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
-    /// Worker threads the scheduler was allowed (0 = automatic).
+    /// Worker threads the run resolved to (an explicit `--threads`
+    /// cap, or the machine's core count when unconstrained). Always
+    /// the count actually used, never a placeholder.
     pub threads: usize,
     /// `--events` per workload.
     pub events_per_workload: usize,

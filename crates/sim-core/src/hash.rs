@@ -1,0 +1,144 @@
+//! A fast, deterministic hasher for simulator-internal maps.
+//!
+//! `std`'s default [`std::collections::HashMap`] uses SipHash-1-3 — a
+//! keyed hash built to resist collision attacks from untrusted input.
+//! The simulator's maps are keyed by its own line addresses, so that
+//! defence buys nothing and costs a long dependency chain per lookup.
+//! [`FxHasher`] replaces it with the Firefox/rustc multiply-and-rotate
+//! mix: one wrapping multiply per 8 bytes, unkeyed, identical on every
+//! run and platform.
+//!
+//! Determinism note: a [`FxHashMap`]/[`FxHashSet`] iterates in a
+//! different order than the default map. None of the simulator's
+//! outputs may depend on map iteration order — the determinism tests
+//! (`tests/determinism.rs`, `tests/probe_determinism.rs`) pin this.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(7, "seven");
+//! assert_eq!(m.get(&7), Some(&"seven"));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// The odd constant from Fx/FireFox: `2^64 / phi`, rounded to odd.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc/Firefox "Fx" hasher: wrapping multiply + rotate per word.
+///
+/// Not collision-resistant against adversarial keys — only use for
+/// maps whose keys the simulator itself generates.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, BuildHasherDefault};
+
+    fn hash_of(n: u64) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(n)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        for n in [0u64, 1, 42, u64::MAX, 0xdead_beef] {
+            assert_eq!(hash_of(n), hash_of(n), "n = {n:#x}");
+        }
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Sequential line addresses — the common key pattern — must
+        // not collapse onto each other.
+        let hashes: FxHashSet<u64> = (0..10_000u64).map(hash_of).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_whole_words() {
+        let mut a = FxHasher::default();
+        a.write(&42u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for n in 0..1000 {
+            m.insert(n, n * 3);
+        }
+        for n in 0..1000 {
+            assert_eq!(m.get(&n), Some(&(n * 3)));
+        }
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`Cycle`] — simulated time;
 //! * [`rng`] — small, seedable, version-stable PRNGs
 //!   ([`rng::SplitMix64`], [`rng::XorShift64Star`]);
+//! * [`hash`] — the fast unkeyed [`hash::FxHasher`] for
+//!   simulator-internal maps ([`hash::FxHashMap`],
+//!   [`hash::FxHashSet`]);
 //! * [`parallel`] — the order-preserving fork/join scheduler every
 //!   experiment fans independent cells out with;
 //! * [`probe`] — zero-overhead-when-disabled observability probes
@@ -32,6 +35,7 @@
 
 mod addr;
 mod cycle;
+pub mod hash;
 pub mod parallel;
 pub mod probe;
 pub mod rng;

@@ -10,7 +10,9 @@
 //! Streams that are replayed many times (every experiment driver
 //! evaluates many policies over the same workload trace) should go
 //! through the memoizing [`arena`] instead of re-running a generator
-//! per consumer.
+//! per consumer. Consumers that replay one trace through many cache
+//! models sharing an indexing scheme can go further and stream
+//! precomputed `(set, tag)` pairs from [`decomposed`].
 //!
 //! # Examples
 //!
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod decomposed;
 mod event;
 pub mod pattern;
 mod record;
