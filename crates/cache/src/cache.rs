@@ -158,12 +158,20 @@ impl<M> SetAssocCache<M> {
         let occ = self.occ[set_index] as usize;
         debug_assert!(occ > 0, "victim choice in an empty set");
         match self.replacement {
-            Replacement::Lru | Replacement::Fifo => self.stamps[base..base + occ]
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &s)| s)
-                .map(|(i, _)| i)
-                .expect("full set has ways"),
+            Replacement::Lru | Replacement::Fifo => {
+                // Plain min scan (total even on an empty slice, unlike
+                // a min_by_key().expect() chain, and branch-predictable
+                // on the 1-8 way geometries the experiments sweep).
+                let mut way = 0;
+                let mut min = u64::MAX;
+                for (i, &stamp) in self.stamps[base..base + occ].iter().enumerate() {
+                    if stamp < min {
+                        min = stamp;
+                        way = i;
+                    }
+                }
+                way
+            }
             Replacement::Random => {
                 // Deterministic per (eviction count, set): the same
                 // victim is reported by eviction_candidate and taken
@@ -297,6 +305,10 @@ impl<M> SetAssocCache<M> {
         let evicted_tag = self.tags[slot];
         let evicted_meta = self.meta[slot]
             .replace(meta)
+            // Ways 0..occ hold Some meta by construction (fills write
+            // it, invalidate swap-removes), and no non-panicking
+            // fallback exists for an arbitrary meta type M.
+            // simlint: allow(hot-path-panic)
             .expect("resident way has meta");
         self.tags[slot] = tag;
         self.stamps[slot] = clock;
@@ -359,11 +371,12 @@ impl<M> SetAssocCache<M> {
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &M)> + '_ {
         (0..self.occ.len()).flat_map(move |set| {
             let base = set * self.assoc;
-            (base..base + self.occ[set] as usize).map(move |slot| {
-                (
-                    self.geom.line_from_parts(self.tags[slot], set),
-                    self.meta[slot].as_ref().expect("resident way has meta"),
-                )
+            // filter_map keeps this total: resident ways always hold
+            // Some meta, so nothing is ever actually skipped.
+            (base..base + self.occ[set] as usize).filter_map(move |slot| {
+                self.meta[slot]
+                    .as_ref()
+                    .map(|meta| (self.geom.line_from_parts(self.tags[slot], set), meta))
             })
         })
     }

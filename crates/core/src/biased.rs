@@ -130,29 +130,25 @@ impl BiasedCache {
 
         // Choose a victim: LRU among unprotected lines if the bias is
         // on and any exist; otherwise plain LRU with bits cleared.
-        let victim_idx = if self.biased && set.iter().any(|l| !l.conflict_bit) {
-            set.iter()
-                .enumerate()
-                .filter(|(_, l)| !l.conflict_bit)
-                .min_by_key(|(_, l)| l.last_use)
-                .map(|(i, _)| i)
-                .expect("an unprotected line exists")
-        } else {
-            let idx = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.last_use)
-                .map(|(i, _)| i)
-                .expect("full set");
+        // Both scans are total (they default to way 0 on the empty
+        // set that cannot occur here), keeping this access path free
+        // of panicking calls.
+        let unprotected = self.biased && set.iter().any(|l| !l.conflict_bit);
+        let mut victim_idx = 0;
+        let mut oldest = u64::MAX;
+        for (i, l) in set.iter().enumerate() {
+            if (!unprotected || !l.conflict_bit) && l.last_use < oldest {
+                oldest = l.last_use;
+                victim_idx = i;
+            }
+        }
+        if !unprotected && self.biased {
             // Protection is temporary: once every line is protected,
             // the bits reset so streams cannot be locked out forever.
-            if self.biased {
-                for l in set.iter_mut() {
-                    l.conflict_bit = false;
-                }
+            for l in set.iter_mut() {
+                l.conflict_bit = false;
             }
-            idx
-        };
+        }
         let evicted = set[victim_idx];
         self.table.record_eviction(set_index, evicted.tag);
         set[victim_idx] = new_line;

@@ -15,10 +15,9 @@
 
 use std::env;
 use std::process::ExitCode;
-use std::time::Instant;
 
 use experiments::cli::{self, Target};
-use experiments::telemetry::{BenchReport, FigureBench};
+use experiments::telemetry::{BenchReport, FigureBench, Stopwatch};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -71,19 +70,19 @@ fn main() -> ExitCode {
     // buffered (order-preserving) and printed afterwards, so stdout is
     // byte-identical to a serial run.
     let events = opts.events;
-    let total_start = Instant::now();
+    let total_start = Stopwatch::start();
     let results: Vec<(String, FigureBench)> =
         experiments::par_map(opts.targets.clone(), |target: Target| {
-            let start = Instant::now();
+            let start = Stopwatch::start();
             let rendered = target.run(events);
             let bench = FigureBench {
                 name: target.name(),
-                wall_seconds: start.elapsed().as_secs_f64(),
+                wall_seconds: start.elapsed_seconds(),
                 events: target.simulated_events(events),
             };
             (rendered, bench)
         });
-    let total_wall_seconds = total_start.elapsed().as_secs_f64();
+    let total_wall_seconds = total_start.elapsed_seconds();
 
     for (rendered, _) in &results {
         println!("{rendered}\n");

@@ -21,6 +21,30 @@ use trace_gen::arena::{ArenaStats, TraceArena};
 /// start, across all threads.
 static EVENTS_SIMULATED: AtomicU64 = AtomicU64::new(0);
 
+/// A monotonic wall-clock stopwatch for harness timing.
+///
+/// This module is the one place the workspace reads the host clock
+/// (`simlint`'s `wallclock` rule enforces it): simulation logic keeps
+/// its own time in `sim_core::cycle`, and anything wall-clock-derived
+/// flows only into stderr telemetry and the bench JSON — never into
+/// experiment output.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(std::time::Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
 /// Records `n` simulated events. Called by every driver's inner loop
 /// (via `drive` or directly); the per-figure formulas in
 /// [`crate::cli::Target::simulated_events`] are cross-checked against

@@ -1,8 +1,10 @@
-//! Golden tests pinning the two machine-readable schemas the harness
-//! emits: `bench-repro/1` (from `repro --bench-json`) and `obs-repro/1`
-//! (from `repro --probe`). Downstream tooling parses these files
-//! across PRs, so any field rename, reordering, or escaping change
-//! must show up as a deliberate diff here (and a schema version bump).
+//! Golden tests pinning the machine-readable schemas the workspace
+//! emits: `bench-repro/1` (from `repro --bench-json`), `obs-repro/1`
+//! (from `repro --probe`), and `lint-repro/1` (from
+//! `cargo run -p simlint -- --json`). Downstream tooling parses these
+//! files across PRs, so any field rename, reordering, or escaping
+//! change must show up as a deliberate diff here (and a schema version
+//! bump).
 
 use experiments::probe::{render_jsonl, CellRecord, ProbeMode, RunHeader};
 use experiments::telemetry::{BenchReport, FigureBench};
@@ -105,4 +107,43 @@ fn obs_repro_1_jsonl_is_stable() {
     let values = experiments::jsonl::parse_lines(&rendered).expect("golden JSONL parses");
     assert_eq!(values.len(), 6);
     assert_eq!(values[1].str_field("cell"), Some("16KB \"DM\"/swim"));
+}
+
+#[test]
+fn lint_repro_1_jsonl_is_stable() {
+    let report = simlint::Report {
+        findings: vec![simlint::Finding::new(
+            "wallclock",
+            "crates/cpu/src/baseline.rs",
+            7,
+            "wall-clock access with an \"odd\\quote\"".to_owned(),
+        )],
+        waived: 1,
+        files_scanned: 101,
+    };
+    let expected = concat!(
+        "{\"schema\":\"lint-repro/1\",\"rules\":[\"default-hasher\",\"hot-path-panic\",\"probe-guard\",\"unseeded-rng\",\"waiver\",\"wallclock\"],\"files_scanned\":101}\n",
+        "{\"type\":\"finding\",\"rule\":\"wallclock\",\"file\":\"crates/cpu/src/baseline.rs\",\"line\":7,\"message\":\"wall-clock access with an \\\"odd\\\\quote\\\"\"}\n",
+        "{\"type\":\"summary\",\"findings\":1,\"waived\":1,\"files_scanned\":101}\n",
+    );
+    let rendered = report.render_json();
+    assert_eq!(rendered, expected);
+    assert!(rendered.starts_with(&format!("{{\"schema\":\"{}\"", simlint::SCHEMA)));
+
+    // The lint JSONL must round-trip through the same reader the other
+    // two schemas use, so CI tooling needs exactly one parser.
+    let values = experiments::jsonl::parse_lines(&rendered).expect("lint JSONL parses");
+    assert_eq!(values.len(), 3);
+    assert_eq!(values[0].str_field("schema"), Some("lint-repro/1"));
+    let rules = values[0].get("rules").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(rules.len(), simlint::rules::RULE_NAMES.len());
+    assert_eq!(values[1].str_field("rule"), Some("wallclock"));
+    assert_eq!(values[1].u64_field("line"), Some(7));
+    assert_eq!(
+        values[1].str_field("message"),
+        Some("wall-clock access with an \"odd\\quote\"")
+    );
+    assert_eq!(values[2].u64_field("findings"), Some(1));
+    assert_eq!(values[2].u64_field("waived"), Some(1));
+    assert_eq!(values[2].u64_field("files_scanned"), Some(101));
 }

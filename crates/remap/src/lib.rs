@@ -42,10 +42,9 @@ mod system;
 
 pub use system::RemapSystem;
 
-use std::collections::HashMap;
-
 use cache_model::{CacheGeometry, ConfigError};
 use mct::{ClassifyingCache, MissClass, TagBits};
+use sim_core::hash::FxHashMap;
 use sim_core::Addr;
 
 /// Which misses the lookaside buffer counts.
@@ -62,7 +61,7 @@ pub enum CountPolicy {
 /// Per-page miss counters.
 #[derive(Debug, Clone, Default)]
 pub struct MissLookasideBuffer {
-    counts: HashMap<u64, u64>,
+    counts: FxHashMap<u64, u64>,
 }
 
 impl MissLookasideBuffer {
@@ -107,7 +106,7 @@ impl MissLookasideBuffer {
 pub struct PageMapper {
     page_size: u64,
     num_colors: u64,
-    map: HashMap<u64, u64>,
+    map: FxHashMap<u64, u64>,
     /// Next free physical page per color, for allocation.
     next_free: Vec<u64>,
 }
@@ -134,7 +133,7 @@ impl PageMapper {
         PageMapper {
             page_size,
             num_colors,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             next_free,
         }
     }

@@ -44,11 +44,12 @@
 //! ```
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::hash::FxHashMap;
 use crate::stats::Histogram;
 
 /// How an MCT lookup resolved, at full detail.
@@ -337,9 +338,9 @@ pub const HOT_SETS_TOP_K: usize = 4;
 pub struct EpochSink {
     epoch_len: u64,
     cur: EpochSnapshot,
-    cur_sets: HashMap<u32, u64>,
+    cur_sets: FxHashMap<u32, u64>,
     epochs: Vec<EpochSnapshot>,
-    all_sets: HashMap<u32, u64>,
+    all_sets: FxHashMap<u32, u64>,
     totals: Registry,
 }
 
@@ -355,9 +356,9 @@ impl EpochSink {
         EpochSink {
             epoch_len,
             cur: EpochSnapshot::default(),
-            cur_sets: HashMap::new(),
+            cur_sets: FxHashMap::default(),
             epochs: Vec::new(),
-            all_sets: HashMap::new(),
+            all_sets: FxHashMap::default(),
             totals: Registry::new(),
         }
     }
@@ -391,9 +392,9 @@ impl EpochSink {
 }
 
 /// The top `k` `(set, count)` pairs by descending count, ties broken
-/// by ascending set — a deterministic order regardless of `HashMap`
+/// by ascending set — a deterministic order regardless of map
 /// iteration.
-fn top_k(sets: &HashMap<u32, u64>, k: usize) -> Vec<(u32, u64)> {
+fn top_k(sets: &FxHashMap<u32, u64>, k: usize) -> Vec<(u32, u64)> {
     let mut v: Vec<(u32, u64)> = sets.iter().map(|(&s, &c)| (s, c)).collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     v.truncate(k);

@@ -1,0 +1,339 @@
+//! A hand-rolled Rust surface lexer: comment/string scrubbing.
+//!
+//! `simlint` runs offline in containers with no crates.io access, so
+//! it cannot lean on `syn` for a real parse. It does not need one: the
+//! rules match *token spellings* (`HashMap`, `.unwrap()`,
+//! `probe::emit`), and the only parsing problem that actually matters
+//! is keeping those spellings inside comments, doc examples, and
+//! string literals from producing false positives. [`scrub`] solves
+//! exactly that: it replaces the contents of every comment and every
+//! string/char literal with spaces while preserving line structure, so
+//! the rule engine scans code-only text with accurate `file:line`
+//! anchors. Comment text is kept separately so waivers
+//! (`// simlint: allow(<rule>)`) can be recognized.
+
+/// A source file with comments and literal contents blanked out.
+#[derive(Debug, Clone)]
+pub struct Scrubbed {
+    /// The code text, line by line (1-based line `n` is `lines[n-1]`).
+    /// Comments and string/char literal contents are spaces; all other
+    /// characters are byte-for-byte the original source.
+    pub lines: Vec<String>,
+    /// Every comment's text, with the line it *starts* on. Block
+    /// comments spanning lines appear once, newlines preserved.
+    pub comments: Vec<(usize, String)>,
+}
+
+/// Lexer state while walking the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the depth rides along.
+    BlockComment(u32),
+    Str,
+    /// Raw string with `n` `#` marks (`r##"…"##`).
+    RawStr(u32),
+}
+
+/// Scrubs `source`, blanking comments and literal contents.
+pub fn scrub(source: &str) -> Scrubbed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut lines = Vec::new();
+    let mut comments = Vec::new();
+    let mut comment_text = String::new();
+    let mut comment_line = 0usize;
+    let mut line = 1usize;
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    // Pushes `out`'s current contents as one finished line.
+    fn flush_line(out: &mut String, lines: &mut Vec<String>) {
+        lines.push(std::mem::take(out));
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    comment_line = line;
+                    comment_text.clear();
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    comment_line = line;
+                    comment_text.clear();
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                }
+                'r' | 'b' if !prev_is_ident(&chars, i) => {
+                    // Possible raw/byte string prefix: r", r#", br", b".
+                    let (consumed, hashes, is_str, is_raw) = literal_prefix(&chars, i);
+                    if is_str {
+                        for _ in 0..consumed {
+                            out.push(' ');
+                        }
+                        out.push('"');
+                        state = if is_raw {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str
+                        };
+                        i += consumed + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime. A char literal closes
+                    // with `'` after one (possibly escaped) character;
+                    // a lifetime is `'` + identifier with no closing
+                    // quote.
+                    if let Some(len) = char_literal_len(&chars, i) {
+                        out.push('\'');
+                        for _ in 0..len.saturating_sub(2) {
+                            out.push(' ');
+                        }
+                        out.push('\'');
+                        for &c in &chars[i..i + len] {
+                            if c == '\n' {
+                                line += 1;
+                            }
+                        }
+                        i += len;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                '\n' => {
+                    flush_line(&mut out, &mut lines);
+                    line += 1;
+                    i += 1;
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    comments.push((comment_line, std::mem::take(&mut comment_text)));
+                    state = State::Code;
+                    flush_line(&mut out, &mut lines);
+                    line += 1;
+                } else {
+                    comment_text.push(c);
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    if depth == 1 {
+                        comments.push((comment_line, std::mem::take(&mut comment_text)));
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                        comment_text.push_str("*/");
+                    }
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    comment_text.push_str("/*");
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    if c == '\n' {
+                        flush_line(&mut out, &mut lines);
+                        line += 1;
+                    } else {
+                        out.push(' ');
+                    }
+                    comment_text.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    out.push_str("  ");
+                    i += 2;
+                    if next == Some('\n') {
+                        // String continuation: the escaped newline.
+                        out.pop();
+                        out.pop();
+                        out.push(' ');
+                        flush_line(&mut out, &mut lines);
+                        line += 1;
+                    }
+                }
+                '"' => {
+                    state = State::Code;
+                    out.push('"');
+                    i += 1;
+                }
+                '\n' => {
+                    flush_line(&mut out, &mut lines);
+                    line += 1;
+                    i += 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push(' ');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else if c == '\n' {
+                    flush_line(&mut out, &mut lines);
+                    line += 1;
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    match state {
+        State::LineComment | State::BlockComment(_) => {
+            comments.push((comment_line, comment_text));
+        }
+        _ => {}
+    }
+    lines.push(out);
+    Scrubbed { lines, comments }
+}
+
+/// Whether `chars[i]`'s predecessor is an identifier character (so a
+/// `r`/`b` at `i` is the tail of an identifier, not a literal prefix).
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Detects a raw/byte string prefix starting at `i`.
+///
+/// Returns `(prefix_len, hashes, is_string, is_raw)` where
+/// `prefix_len` counts the characters before the opening quote.
+fn literal_prefix(chars: &[char], i: usize) -> (usize, u32, bool, bool) {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') && (raw || hashes == 0) {
+        (j - i, hashes, true, raw)
+    } else {
+        (0, 0, false, false)
+    }
+}
+
+/// Whether the `"` at `i` is followed by `hashes` `#` marks.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Length in chars of a char literal starting at the `'` at `i`, or
+/// `None` if this quote starts a lifetime.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escaped char: scan to the closing quote (handles \n, \',
+            // \u{…}).
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                j += 1;
+            }
+            (chars.get(j) == Some(&'\'')).then_some(j - i + 1)
+        }
+        _ => (chars.get(i + 2) == Some(&'\'')).then_some(3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(source: &str) -> String {
+        scrub(source).lines.join("\n")
+    }
+
+    #[test]
+    fn line_comments_are_blanked_but_kept() {
+        let s = scrub("let x = 1; // HashMap here\nlet y = 2;");
+        assert!(!s.lines[0].contains("HashMap"));
+        assert!(s.lines[0].contains("let x = 1;"));
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0], (1, " HashMap here".to_owned()));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let text = "a /* one /* two */ still */ b\nc";
+        let c = code(text);
+        assert!(c.contains('a') && c.contains('b') && c.contains('c'));
+        assert!(!c.contains("one") && !c.contains("still"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let c = code("let s = \"Instant::now() \\\" quoted\"; foo()");
+        assert!(!c.contains("Instant"));
+        assert!(c.contains("foo()"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let c = code("let s = r#\"thread_rng \" inner\"#; bar()");
+        assert!(!c.contains("thread_rng"));
+        assert!(c.contains("bar()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let c = code("fn f<'a>(x: &'a str) { m('\"'); n('\\n'); }");
+        assert!(c.contains("fn f<'a>(x: &'a str)"));
+        assert!(!c.contains('"'), "char contents blanked: {c}");
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let s = scrub("let s = \"a\nb\nc\";\nlet t = 1;");
+        assert_eq!(s.lines.len(), 4);
+        assert!(s.lines[3].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn doc_comment_examples_are_comments() {
+        let s = scrub("/// let m = HashMap::new();\nfn f() {}");
+        assert!(!s.lines[0].contains("HashMap"));
+        assert_eq!(s.comments[0].0, 1);
+    }
+}

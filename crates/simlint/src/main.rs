@@ -1,0 +1,86 @@
+//! The `simlint` command-line entry point.
+//!
+//! ```text
+//! simlint [--json] [--root PATH]
+//! ```
+//!
+//! Scans the workspace's Rust sources (skipping `vendor/`, `target/`,
+//! and test fixtures) against the rule set in [`simlint::rules`].
+//! Exits 0 on a clean tree, 1 when findings remain, 2 on usage or I/O
+//! errors. `--json` emits the `lint-repro/1` JSONL document instead of
+//! human diagnostics.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: simlint [--json] [--root PATH]\n\
+         \n\
+         --json        machine-readable output (schema lint-repro/1)\n\
+         --root PATH   workspace root to scan (default: nearest ancestor\n\
+         \u{20}             of the current directory with a [workspace] manifest)"
+    );
+    ExitCode::from(2)
+}
+
+/// The nearest ancestor directory whose `Cargo.toml` declares a
+/// `[workspace]` — where `cargo run -p simlint` leaves the working
+/// directory, or wherever in the tree a human invokes it from.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => return usage(),
+            },
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("simlint: no workspace root found (pass --root)");
+        return ExitCode::from(2);
+    };
+
+    match simlint::lint_workspace(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("simlint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

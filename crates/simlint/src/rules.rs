@@ -1,0 +1,342 @@
+//! The rule catalog: each rule is a scan over one scrubbed file.
+//!
+//! Rules see a [`FileCtx`]: the scrubbed code lines of one file (see
+//! [`crate::lexer`]), a per-line test-region mask, and the file's
+//! workspace-relative path. They match token spellings with identifier
+//! boundaries — deliberately shallower than a type-checked analysis,
+//! which keeps the pass dependency-free and fast, at the cost of being
+//! a *convention* checker: the conventions are chosen so the textual
+//! form and the semantic property coincide in this workspace.
+
+use crate::Finding;
+
+/// One file as the rules see it.
+#[derive(Debug)]
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub path: &'a str,
+    /// Scrubbed code lines (no comment or literal text).
+    pub lines: &'a [String],
+    /// `mask[i]` is true when line `i + 1` is test-only code
+    /// (`#[cfg(test)]` / `#[test]` items, or a test/bench/example
+    /// file).
+    pub test_mask: &'a [bool],
+}
+
+impl FileCtx<'_> {
+    fn is_test_line(&self, idx: usize) -> bool {
+        self.test_mask.get(idx).copied().unwrap_or(false)
+    }
+}
+
+/// Every rule name, in the order diagnostics list them.
+pub const RULE_NAMES: [&str; 6] = [
+    "default-hasher",
+    "hot-path-panic",
+    "probe-guard",
+    "unseeded-rng",
+    "waiver",
+    "wallclock",
+];
+
+/// Whether `name` is a known rule (waivers may only name these).
+#[must_use]
+pub fn is_rule(name: &str) -> bool {
+    RULE_NAMES.contains(&name)
+}
+
+/// Runs every rule over one file, in deterministic order.
+#[must_use]
+pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    default_hasher(ctx, &mut findings);
+    wallclock(ctx, &mut findings);
+    hot_path_panic(ctx, &mut findings);
+    probe_guard(ctx, &mut findings);
+    unseeded_rng(ctx, &mut findings);
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
+    findings
+}
+
+/// Finds `word` as a whole identifier in `line` (not as a fragment of
+/// a longer identifier like `FxHashMap` or `emit_slow`).
+fn has_ident(line: &str, word: &str) -> bool {
+    find_ident(line, word).is_some()
+}
+
+/// Byte offset of `word` as a whole identifier in `line`, if present.
+fn find_ident(line: &str, word: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word).map(|p| p + from) {
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let end = pos + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        from = pos + 1;
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// `default-hasher`: no `std` `HashMap`/`HashSet` with the default
+/// SipHash hasher outside test code. Every crate here either feeds
+/// figure/JSON output or sits on a hot path; both want
+/// `sim_core::hash::FxHashMap` (speed, cross-run identity) or
+/// `BTreeMap` (ordered iteration).
+fn default_hasher(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    for (i, line) in ctx.lines.iter().enumerate() {
+        if ctx.is_test_line(i) {
+            continue;
+        }
+        // A line that names the replacement hasher is the definition
+        // site or an explicit-hasher construction, not a violation.
+        if line.contains("BuildHasherDefault") || line.contains("with_hasher") {
+            continue;
+        }
+        for word in ["HashMap", "HashSet"] {
+            if has_ident(line, word) {
+                findings.push(Finding::new(
+                    "default-hasher",
+                    ctx.path,
+                    i + 1,
+                    format!(
+                        "std {word} with the default SipHash hasher; use \
+                         sim_core::hash::Fx{word} or an ordered BTree container"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Files where wall-clock access is sanctioned: the telemetry module
+/// (the one place the harness times itself) and benchmark code.
+fn wallclock_allowed(path: &str) -> bool {
+    path == "crates/experiments/src/telemetry.rs"
+        || path.starts_with("crates/bench/")
+        || path.contains("/benches/")
+}
+
+/// `wallclock`: no `Instant` / `SystemTime` outside
+/// `experiments::telemetry` and bench code. Simulation logic that
+/// reads the host clock produces run-dependent output; simulated time
+/// is `sim_core::cycle`, and harness timing goes through
+/// `experiments::telemetry::Stopwatch`.
+fn wallclock(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if wallclock_allowed(ctx.path) {
+        return;
+    }
+    for (i, line) in ctx.lines.iter().enumerate() {
+        if ctx.is_test_line(i) {
+            continue;
+        }
+        for word in ["Instant", "SystemTime", "UNIX_EPOCH"] {
+            if has_ident(line, word) {
+                findings.push(Finding::new(
+                    "wallclock",
+                    ctx.path,
+                    i + 1,
+                    format!(
+                        "wall-clock access ({word}) outside experiments::telemetry \
+                         and bench code; simulated time is sim_core::cycle, harness \
+                         timing goes through telemetry::Stopwatch"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The hot kernel paths where a panic aborts a multi-hour sweep: the
+/// SoA cache kernel, the whole `mct` classification crate, and
+/// decomposed-trace replay.
+fn hot_path(path: &str) -> bool {
+    path == "crates/cache/src/cache.rs"
+        || path == "crates/trace/src/decomposed.rs"
+        || path.starts_with("crates/core/src/")
+}
+
+/// `hot-path-panic`: no `unwrap()` / `expect()` / `panic!`-family
+/// macros in the hot kernel paths. Restructure to a total operation
+/// (scan loops instead of `Option` chains, poison recovery on locks)
+/// or waive with a written justification.
+fn hot_path_panic(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !hot_path(ctx.path) {
+        return;
+    }
+    const TOKENS: [&str; 6] = [
+        ".unwrap()",
+        ".expect(",
+        "panic!",
+        "unreachable!",
+        "todo!",
+        "unimplemented!",
+    ];
+    for (i, line) in ctx.lines.iter().enumerate() {
+        if ctx.is_test_line(i) {
+            continue;
+        }
+        for token in TOKENS {
+            if line.contains(token) {
+                findings.push(Finding::new(
+                    "hot-path-panic",
+                    ctx.path,
+                    i + 1,
+                    format!(
+                        "panicking call ({}) on a simulator hot path; restructure \
+                         to a total operation or waive with a justification",
+                        token.trim_end_matches('(').trim_start_matches('.')
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `probe-guard`: a `probe::emit` call either passes an inline
+/// `ProbeEvent` literal (construction is trivially cheap; `emit`'s own
+/// relaxed-load armed check suffices) or sits behind an explicit
+/// `probe::active()` guard so no event-building work runs disarmed.
+fn probe_guard(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    // The probe module itself defines `emit` and its internals.
+    if ctx.path == "crates/sim-core/src/probe.rs" {
+        return;
+    }
+    for (i, line) in ctx.lines.iter().enumerate() {
+        let Some(pos) = find_ident(line, "emit") else {
+            continue;
+        };
+        let after = line[pos + 4..].trim_start();
+        if !after.starts_with('(') {
+            continue; // `emit` in a path or definition, not a call
+        }
+        let arg = after[1..].trim_start();
+        // An argument that begins on the next line is handled by
+        // peeking one line down.
+        let arg = if arg.is_empty() {
+            ctx.lines.get(i + 1).map(|l| l.trim_start()).unwrap_or("")
+        } else {
+            arg
+        };
+        let literal = arg.starts_with("probe::ProbeEvent::") || arg.starts_with("ProbeEvent::");
+        let guarded = ctx.lines[i.saturating_sub(6)..=i]
+            .iter()
+            .any(|l| l.contains("probe::active()") || has_ident(l, "active"));
+        if !literal && !guarded {
+            findings.push(Finding::new(
+                "probe-guard",
+                ctx.path,
+                i + 1,
+                "probe emit with a precomputed event and no probe::active() guard \
+                 in sight; pass an inline ProbeEvent literal or guard the \
+                 event-building work"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+/// `unseeded-rng`: no ambient-entropy randomness anywhere (tests
+/// included) — every random stream flows from seeded `sim_core` RNGs
+/// so runs replay bit-identically.
+fn unseeded_rng(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    const TOKENS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "random"];
+    for (i, line) in ctx.lines.iter().enumerate() {
+        for word in TOKENS {
+            if !has_ident(line, word) {
+                continue;
+            }
+            // `random` alone is too common a word; only the `rand`
+            // crate's free function is the hazard.
+            if word == "random" && !line.contains("rand::random") {
+                continue;
+            }
+            findings.push(Finding::new(
+                "unseeded-rng",
+                ctx.path,
+                i + 1,
+                format!(
+                    "ambient-entropy randomness ({word}); all randomness must flow \
+                     from seeded sim_core RNGs (e.g. rng::SplitMix64)"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_findings(path: &str, source: &str) -> Vec<Finding> {
+        let scrubbed = crate::lexer::scrub(source);
+        let mask = crate::test_line_mask(&scrubbed.lines, false);
+        check_file(&FileCtx {
+            path,
+            lines: &scrubbed.lines,
+            test_mask: &mask,
+        })
+    }
+
+    #[test]
+    fn ident_boundaries_hold() {
+        assert!(has_ident("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_ident("let m: FxHashMap<u64, u64>;", "HashMap"));
+        assert!(!has_ident("emit_slow(&ev)", "emit"));
+    }
+
+    #[test]
+    fn default_hasher_allows_explicit_hashers() {
+        let ok = "pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;";
+        assert!(ctx_findings("crates/x/src/lib.rs", ok).is_empty());
+        let bad = "let m = HashMap::new();";
+        assert_eq!(ctx_findings("crates/x/src/lib.rs", bad).len(), 1);
+    }
+
+    #[test]
+    fn wallclock_allows_telemetry_and_benches() {
+        let src = "let t = Instant::now();";
+        assert!(ctx_findings("crates/experiments/src/telemetry.rs", src).is_empty());
+        assert!(ctx_findings("crates/bench/benches/substrate.rs", src).is_empty());
+        assert_eq!(ctx_findings("crates/cpu/src/baseline.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn hot_path_panic_scopes_to_kernel_files() {
+        let src = "let x = v.pop().unwrap();";
+        assert_eq!(ctx_findings("crates/cache/src/cache.rs", src).len(), 1);
+        assert_eq!(ctx_findings("crates/core/src/table.rs", src).len(), 1);
+        assert!(ctx_findings("crates/experiments/src/fig1.rs", src).is_empty());
+        // unwrap_or is total, not a panic site.
+        let total = "let x = v.pop().unwrap_or(0);";
+        assert!(ctx_findings("crates/cache/src/cache.rs", total).is_empty());
+    }
+
+    #[test]
+    fn probe_guard_accepts_literals_and_guards() {
+        let lit = "probe::emit(probe::ProbeEvent::Access { hit: true });";
+        assert!(ctx_findings("crates/cpu/src/baseline.rs", lit).is_empty());
+        let guarded = "if probe::active() {\n    probe::emit(ev);\n}";
+        assert!(ctx_findings("crates/cpu/src/baseline.rs", guarded).is_empty());
+        let bare = "probe::emit(ev);";
+        assert_eq!(ctx_findings("crates/cpu/src/baseline.rs", bare).len(), 1);
+    }
+
+    #[test]
+    fn rng_rule_applies_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let r = thread_rng(); }\n}";
+        assert_eq!(ctx_findings("crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn test_regions_are_exempt_from_code_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}";
+        assert!(ctx_findings("crates/x/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//! Known-bad fixture: std HashMap/HashSet with the default SipHash
+//! hasher on a non-test path. Linted as `crates/x/src/lib.rs`.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn histogram(keys: &[u64]) -> HashMap<u64, u64> {
+    let mut counts = HashMap::new();
+    let mut seen = HashSet::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+        seen.insert(k);
+    }
+    counts
+}

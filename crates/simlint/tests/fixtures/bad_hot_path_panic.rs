@@ -1,0 +1,18 @@
+//! Known-bad fixture: panicking calls on a simulator hot path.
+//! Linted as `crates/cache/src/cache.rs`.
+
+pub fn victim(stamps: &[u64]) -> usize {
+    let (way, _) = stamps
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &s)| s)
+        .expect("set is never empty");
+    if way >= stamps.len() {
+        panic!("way out of range");
+    }
+    way
+}
+
+pub fn newest(stamps: &[u64]) -> u64 {
+    *stamps.iter().max().unwrap()
+}

@@ -1,0 +1,11 @@
+//! Known-bad fixture: a probe emit whose event is built eagerly with
+//! no armed check in sight. Linted as `crates/cpu/src/baseline.rs`.
+
+pub fn record(set: u32, hit: bool) {
+    let event = build_event(set, hit);
+    probe::emit(event);
+}
+
+fn build_event(set: u32, hit: bool) -> probe::ProbeEvent {
+    probe::ProbeEvent::Access { set, hit }
+}

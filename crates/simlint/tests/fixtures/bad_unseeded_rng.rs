@@ -1,0 +1,16 @@
+//! Known-bad fixture: ambient-entropy randomness. The rule applies in
+//! test code too. Linted as `crates/x/src/lib.rs`.
+
+pub fn shuffle_seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn jittered() {
+        let x: u64 = rand::random();
+        assert!(x != 0 || x == 0);
+    }
+}

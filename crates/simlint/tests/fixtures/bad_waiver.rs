@@ -1,0 +1,8 @@
+//! Known-bad fixture: malformed and unknown-rule waivers are findings
+//! themselves. Linted as `crates/x/src/lib.rs`.
+
+// simlint: forbid(wallclock)
+pub fn a() {}
+
+// simlint: allow(no-such-rule)
+pub fn b() {}

@@ -1,0 +1,10 @@
+//! Known-bad fixture: wall-clock reads outside experiments::telemetry
+//! and bench code. Linted as `crates/cpu/src/baseline.rs`.
+
+use std::time::{Instant, SystemTime};
+
+pub fn timestamped_run() -> f64 {
+    let start = Instant::now();
+    let _wall = SystemTime::now();
+    start.elapsed().as_secs_f64()
+}

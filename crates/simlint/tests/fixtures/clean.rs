@@ -1,0 +1,25 @@
+//! Clean fixture: the conventions, followed. Linted as
+//! `crates/cache/src/cache.rs` so every path-scoped rule is armed.
+
+use sim_core::hash::FxHashMap;
+use sim_core::rng::SplitMix64;
+
+pub fn run(seed: u64) -> FxHashMap<u64, u64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut counts = FxHashMap::default();
+    for _ in 0..64 {
+        *counts.entry(rng.next_below(8)).or_insert(0) += 1;
+    }
+    probe::emit(probe::ProbeEvent::Access { set: 0, hit: true });
+    if probe::active() {
+        let event = expensive_event(&counts);
+        probe::emit(event);
+    }
+    counts
+}
+
+fn expensive_event(counts: &FxHashMap<u64, u64>) -> probe::ProbeEvent {
+    probe::ProbeEvent::Histogram {
+        buckets: counts.len(),
+    }
+}

@@ -1,0 +1,9 @@
+//! Waived fixture: one real violation suppressed by a justified
+//! in-place waiver. Linted as `crates/cpu/src/baseline.rs`.
+
+pub fn coarse_deadline_passed() -> bool {
+    // Gates an optional stderr warning only, never experiment output.
+    // simlint: allow(wallclock)
+    let start = std::time::Instant::now();
+    start.elapsed().as_secs() < 1
+}

@@ -35,9 +35,10 @@
 //! assert_eq!(first.len(), 100);
 //! ```
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use sim_core::hash::FxHashMap;
 
 use crate::{TraceEvent, TraceSource};
 
@@ -72,7 +73,7 @@ type TraceCell = Arc<OnceLock<Arc<[TraceEvent]>>>;
 /// A memoizing store of materialized traces. See the module docs.
 #[derive(Debug, Default)]
 pub struct TraceArena {
-    map: Mutex<HashMap<ArenaKey, TraceCell>>,
+    map: Mutex<FxHashMap<ArenaKey, TraceCell>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -119,7 +120,10 @@ impl TraceArena {
     {
         let events = key.events;
         let cell = {
-            let mut map = self.map.lock().expect("arena map lock");
+            // Poison recovery: the map's entries are only ever inserted
+            // whole, so a panic on another thread cannot leave a slot
+            // half-written — continuing with the inner map is sound.
+            let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
             Arc::clone(map.entry(key).or_default())
         };
         let mut materialized = false;
@@ -140,7 +144,7 @@ impl TraceArena {
     /// Hit/miss/residency counters (for telemetry and tests).
     #[must_use]
     pub fn stats(&self) -> ArenaStats {
-        let map = self.map.lock().expect("arena map lock");
+        let map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
         let mut traces = 0usize;
         let mut resident_events = 0u64;
         for cell in map.values() {
@@ -160,7 +164,10 @@ impl TraceArena {
     /// Drops every resident trace (outstanding `Arc`s stay valid) and
     /// resets the counters.
     pub fn clear(&self) {
-        self.map.lock().expect("arena map lock").clear();
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }

@@ -39,9 +39,10 @@
 //! assert!(std::sync::Arc::ptr_eq(&d, &again)); // one decomposition
 //! ```
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use sim_core::hash::FxHashMap;
 
 use crate::arena::ArenaKey;
 use crate::TraceEvent;
@@ -166,7 +167,7 @@ type DecomposedCell = Arc<OnceLock<Arc<DecomposedTrace>>>;
 /// key serialize and share one allocation.
 #[derive(Debug, Default)]
 pub struct DecomposedArena {
-    map: Mutex<HashMap<DecomposedKey, DecomposedCell>>,
+    map: Mutex<FxHashMap<DecomposedKey, DecomposedCell>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -203,7 +204,11 @@ impl DecomposedArena {
                 line_size,
                 set_bits,
             };
-            let mut map = self.map.lock().expect("decomposed arena map lock");
+            // Poison recovery: entries are inserted whole, so another
+            // thread's panic cannot leave a half-written slot —
+            // continuing with the inner map is sound (and keeps this
+            // replay path free of panicking calls).
+            let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
             Arc::clone(map.entry(key).or_default())
         };
         let mut decomposed = false;
@@ -232,7 +237,10 @@ impl DecomposedArena {
     /// Drops every resident decomposition (outstanding `Arc`s stay
     /// valid) and resets the counters.
     pub fn clear(&self) {
-        self.map.lock().expect("decomposed arena map lock").clear();
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }

@@ -226,6 +226,7 @@ macro_rules! __proptest_impl {
 /// Prints the failing case index when a property panics, so the exact
 /// input can be replayed (cases are drawn from a fixed per-test seed).
 #[doc(hidden)]
+#[derive(Debug)]
 pub struct CaseGuard {
     name: &'static str,
     case: u32,
