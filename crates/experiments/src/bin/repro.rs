@@ -3,7 +3,9 @@
 //!
 //! ```text
 //! repro [--events N] [--threads N] [--bench-json PATH]
-//!       [--probe epoch:N|raw] [--probe-out PATH] [TARGET ...]
+//!       [--probe epoch:N|raw] [--probe-out PATH]
+//!       [--fault SEED:RATE [--fault-persistent]]
+//!       [--checkpoint PATH [--resume] [--crash-after N]] [TARGET ...]
 //! ```
 //!
 //! Independent figures run concurrently through the same deterministic
@@ -12,17 +14,35 @@
 //! buffered and printed in request order once all targets finish.
 //! Throughput telemetry goes to stderr (and, with `--bench-json`, to a
 //! machine-readable `BENCH_repro.json`) — never to stdout.
+//!
+//! Robustness (see EXPERIMENTS.md §"Robustness"): a failing cell is
+//! retried under `sim_core::fault`'s deterministic backoff and, if it
+//! keeps failing, recorded as *degraded* (placeholder on stdout,
+//! `"degraded": true` in the bench JSON, exit code 1) instead of
+//! aborting the sweep. `--checkpoint` persists each completed cell as
+//! `fault-repro/1` JSONL and `--resume` reprints those cells without
+//! re-running them, so a killed sweep continues where it died.
+//! `--fault SEED:RATE` injects seeded faults for chaos testing;
+//! `--crash-after N` simulates the kill.
 
 use std::env;
 use std::process::ExitCode;
 
+use experiments::checkpoint::{self, CellEntry, CellStatus, CheckpointWriter};
 use experiments::cli::{self, Target};
+use experiments::ioutil;
 use experiments::telemetry::{BenchReport, FigureBench, Stopwatch};
+
+/// Exit code of a `--crash-after` simulated kill (distinct from the
+/// degraded-run failure exit).
+const CRASH_EXIT: i32 = 3;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--events N] [--threads N] [--bench-json PATH] \
          [--probe epoch:N|raw] [--probe-out PATH] \
+         [--fault SEED:RATE] [--fault-persistent] \
+         [--checkpoint PATH] [--resume] [--crash-after N] \
          [fig1|fig2|fig3|tab1|fig4|fig5|sec54|sec56|fig6|fig7|ablation|all]\n\
          \n\
          --events N       trace events per workload (default {})\n\
@@ -32,6 +52,11 @@ fn usage() -> ExitCode {
          \u{20}                epochs of N accesses) or raw (every event; small runs)\n\
          --probe-out P    probe JSONL path (default OBS_repro.jsonl); inspect\n\
          \u{20}                with `obs summarize P`\n\
+         --fault S:R      inject seeded faults: seed S, rate R in [0,1]\n\
+         --fault-persistent  injected faults defeat every retry (degrades cells)\n\
+         --checkpoint P   persist completed cells to P as fault-repro/1 JSONL\n\
+         --resume         skip cells already completed in the checkpoint\n\
+         --crash-after N  exit({CRASH_EXIT}) after N cells are checkpointed (chaos tests)\n\
          \n\
          fig1   MCT classification accuracy (4 cache configs)\n\
          fig2   accuracy vs saved tag bits\n\
@@ -64,27 +89,157 @@ fn main() -> ExitCode {
         sim_core::parallel::set_max_threads(threads);
     }
     experiments::probe::configure(opts.probe);
+    if let Some(spec) = opts.fault {
+        sim_core::fault::install(spec.plan());
+        sim_core::fault::silence_injected_panics();
+        eprintln!(
+            "[fault] plan installed: seed {}, rate {}{}",
+            spec.seed,
+            spec.rate,
+            if spec.persistent { ", persistent" } else { "" },
+        );
+    }
+
+    let events = opts.events;
+    let target_names: Vec<&'static str> = opts.targets.iter().map(|t| t.name()).collect();
+
+    // Checkpoint bookkeeping: cells completed by a previous run are
+    // reprinted from the checkpoint instead of re-running.
+    let mut resumed: Vec<CellEntry> = Vec::new();
+    if opts.resume {
+        if let Some(path) = &opts.checkpoint {
+            let loaded = checkpoint::load(path, events);
+            for warning in &loaded.warnings {
+                eprintln!("[ckpt] {warning}");
+            }
+            resumed = loaded
+                .cells
+                .into_iter()
+                .filter(|c| c.status == CellStatus::Ok && target_names.contains(&c.target.as_str()))
+                .collect();
+            if !resumed.is_empty() {
+                eprintln!(
+                    "[ckpt] resuming: {} of {} cell(s) restored from {}",
+                    resumed.len(),
+                    target_names.len(),
+                    path.display(),
+                );
+            }
+        }
+    }
+    let writer = match &opts.checkpoint {
+        Some(path) => {
+            match CheckpointWriter::with_preserved(path, events, &target_names, &resumed) {
+                Ok(w) => Some(w),
+                Err(err) => {
+                    eprintln!("repro: cannot open checkpoint {}: {err}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let is_resumed = |target: Target| resumed.iter().any(|c| c.target == target.name());
+    let pending: Vec<Target> = opts
+        .targets
+        .iter()
+        .copied()
+        .filter(|t| !is_resumed(*t))
+        .collect();
 
     // Figure-level parallelism: independent targets overlap on the
     // same scheduler the per-figure cell loops use. Reports are
     // buffered (order-preserving) and printed afterwards, so stdout is
-    // byte-identical to a serial run.
-    let events = opts.events;
+    // byte-identical to a serial run. try_par_map isolates cell
+    // panics: a target that exhausts its retry budget comes back as a
+    // failure and degrades instead of aborting the others.
+    let writer_ref = writer.as_ref();
+    let crash_after = opts.crash_after;
     let total_start = Stopwatch::start();
-    let results: Vec<(String, FigureBench)> =
-        experiments::par_map(opts.targets.clone(), |target: Target| {
-            let start = Stopwatch::start();
-            let rendered = target.run(events);
-            let bench = FigureBench {
-                name: target.name(),
-                wall_seconds: start.elapsed_seconds(),
-                events: target.simulated_events(events),
+    let outcomes = sim_core::parallel::try_par_map(pending.clone(), |target: Target| {
+        let start = Stopwatch::start();
+        let rendered = target.run(events);
+        let bench = FigureBench::ok(
+            target.name(),
+            start.elapsed_seconds(),
+            target.simulated_events(events),
+        );
+        if let Some(w) = writer_ref {
+            let entry = CellEntry {
+                target: target.name().to_owned(),
+                status: CellStatus::Ok,
+                events: bench.events,
+                rendered: rendered.clone(),
+                message: None,
             };
-            (rendered, bench)
-        });
+            match w.record(&entry) {
+                Ok(count) => {
+                    if crash_after.is_some_and(|n| count >= n) {
+                        eprintln!("[ckpt] --crash-after {}: simulating a kill", count);
+                        std::process::exit(CRASH_EXIT);
+                    }
+                }
+                // The checkpoint is best-effort: losing a line costs a
+                // re-run on resume, never the current sweep.
+                Err(err) => eprintln!("[ckpt] cannot record {}: {err}", target.name()),
+            }
+        }
+        (rendered, bench)
+    });
     let total_wall_seconds = total_start.elapsed_seconds();
 
-    for (rendered, _) in &results {
+    // Merge fresh, resumed, and degraded cells back into request
+    // order.
+    let mut fresh = outcomes.into_iter();
+    let mut figures: Vec<FigureBench> = Vec::with_capacity(opts.targets.len());
+    let mut rendered_all: Vec<String> = Vec::with_capacity(opts.targets.len());
+    let mut failures: Vec<String> = Vec::new();
+    let mut degraded_targets: Vec<&'static str> = Vec::new();
+    for target in &opts.targets {
+        if let Some(cell) = resumed.iter().find(|c| c.target == target.name()) {
+            rendered_all.push(cell.rendered.clone());
+            figures.push(FigureBench {
+                resumed: true,
+                ..FigureBench::ok(target.name(), 0.0, cell.events)
+            });
+            continue;
+        }
+        match fresh.next().expect("one outcome per pending target") {
+            Ok((rendered, bench)) => {
+                rendered_all.push(rendered);
+                figures.push(bench);
+            }
+            Err(failure) => {
+                let placeholder = format!("{}: degraded ({})", target.name(), failure.message);
+                if let Some(w) = writer_ref {
+                    let entry = CellEntry {
+                        target: target.name().to_owned(),
+                        status: CellStatus::Degraded,
+                        events: 0,
+                        rendered: placeholder.clone(),
+                        message: Some(failure.message.clone()),
+                    };
+                    if let Err(err) = w.record(&entry) {
+                        eprintln!("[ckpt] cannot record {}: {err}", target.name());
+                    }
+                }
+                rendered_all.push(placeholder);
+                figures.push(FigureBench {
+                    degraded: true,
+                    ..FigureBench::ok(target.name(), 0.0, 0)
+                });
+                degraded_targets.push(target.name());
+                failures.push(format!(
+                    "{} degraded after {} attempt(s): {}",
+                    target.name(),
+                    failure.attempts,
+                    failure.message,
+                ));
+            }
+        }
+    }
+
+    for rendered in &rendered_all {
         println!("{rendered}\n");
     }
 
@@ -94,7 +249,7 @@ fn main() -> ExitCode {
     let report = BenchReport {
         threads: sim_core::parallel::effective_threads(usize::MAX),
         events_per_workload: events,
-        figures: results.into_iter().map(|(_, bench)| bench).collect(),
+        figures,
         total_wall_seconds,
     };
     for figure in &report.figures {
@@ -109,7 +264,7 @@ fn main() -> ExitCode {
     );
 
     if let Some(path) = &opts.bench_json {
-        if let Err(err) = std::fs::write(path, report.to_json()) {
+        if let Err(err) = ioutil::write_with_retry(path, &report.to_json()) {
             eprintln!("repro: cannot write {}: {err}", path.display());
             return ExitCode::FAILURE;
         }
@@ -117,14 +272,26 @@ fn main() -> ExitCode {
     }
 
     if let (Some(mode), Some(path)) = (opts.probe, &opts.probe_out) {
-        let records = experiments::probe::drain();
+        let mut records = experiments::probe::drain();
+        // An aborted attempt of a retried figure may have flushed
+        // partial records before its panic; keep only the final
+        // attempt's record per cell (labels are unique per target) and
+        // none at all for degraded figures.
+        records.retain(|r| !degraded_targets.contains(&r.target));
+        let mut seen = sim_core::hash::FxHashSet::default();
+        for i in (0..records.len()).rev() {
+            if !seen.insert((records[i].target, records[i].cell.clone())) {
+                records.remove(i);
+            }
+        }
         let header = experiments::probe::RunHeader {
             mode,
             events_per_workload: events,
-            targets: opts.targets.iter().map(|t| t.name()).collect(),
+            targets: target_names.clone(),
         };
         let cells = records.len();
-        if let Err(err) = std::fs::write(path, experiments::probe::render_jsonl(&records, &header))
+        if let Err(err) =
+            ioutil::write_with_retry(path, &experiments::probe::render_jsonl(&records, &header))
         {
             eprintln!("repro: cannot write {}: {err}", path.display());
             return ExitCode::FAILURE;
@@ -134,6 +301,22 @@ fn main() -> ExitCode {
             path.display(),
             mode.name()
         );
+    }
+
+    if sim_core::fault::active() {
+        let stats = sim_core::fault::stats();
+        eprintln!(
+            "[fault] injected {} fault(s), {} operation(s) exhausted retries, {} cell(s) degraded",
+            stats.injected,
+            stats.exhausted,
+            degraded_targets.len(),
+        );
+    }
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("repro: {failure}");
+        }
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

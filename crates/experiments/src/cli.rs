@@ -117,8 +117,34 @@ impl Target {
     }
 }
 
+/// Parsed `--fault SEED:RATE` chaos plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Seed of the fault-decision stream.
+    pub seed: u64,
+    /// Probability an arrival at an injection site starts a fault
+    /// burst, in `[0, 1]`.
+    pub rate: f64,
+    /// `--fault-persistent`: injected faults defeat every retry
+    /// instead of clearing within the budget.
+    pub persistent: bool,
+}
+
+impl FaultSpec {
+    /// The [`sim_core::fault::FaultPlan`] this spec describes.
+    #[must_use]
+    pub fn plan(&self) -> sim_core::fault::FaultPlan {
+        let plan = sim_core::fault::FaultPlan::new(self.seed, self.rate);
+        if self.persistent {
+            plan.persistent()
+        } else {
+            plan
+        }
+    }
+}
+
 /// Parsed `repro` invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Options {
     /// Events per workload (strictly positive).
     pub events: usize,
@@ -131,6 +157,16 @@ pub struct Options {
     /// Where the probe JSONL goes (defaults to `OBS_repro.jsonl` when
     /// `--probe` is given).
     pub probe_out: Option<PathBuf>,
+    /// Fault-injection plan (`--fault SEED:RATE`), if any.
+    pub fault: Option<FaultSpec>,
+    /// Where completed cells are checkpointed (`--checkpoint PATH`),
+    /// if anywhere.
+    pub checkpoint: Option<PathBuf>,
+    /// `--resume`: skip cells already recorded in the checkpoint.
+    pub resume: bool,
+    /// `--crash-after N`: simulate a kill by exiting the process after
+    /// N cells have been checkpointed (test/chaos harness only).
+    pub crash_after: Option<u64>,
     /// Targets to run, in order.
     pub targets: Vec<Target>,
 }
@@ -149,6 +185,11 @@ where
     let mut bench_json = None;
     let mut probe = None;
     let mut probe_out: Option<PathBuf> = None;
+    let mut fault: Option<FaultSpec> = None;
+    let mut fault_persistent = false;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut crash_after: Option<u64> = None;
     let mut targets = Vec::new();
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -189,6 +230,28 @@ where
                 let value = args.next().ok_or("--probe-out needs a path")?;
                 probe_out = Some(PathBuf::from(value));
             }
+            "--fault" => {
+                let value = args.next().ok_or("--fault needs `SEED:RATE`")?;
+                fault = Some(parse_fault_spec(&value)?);
+            }
+            "--fault-persistent" => fault_persistent = true,
+            "--checkpoint" => {
+                let value = args.next().ok_or("--checkpoint needs a path")?;
+                checkpoint = Some(PathBuf::from(value));
+            }
+            "--resume" => resume = true,
+            "--crash-after" => {
+                let value = args.next().ok_or("--crash-after needs a cell count")?;
+                let n: u64 = value.parse().map_err(|_| {
+                    format!("--crash-after needs a positive integer, got `{value}`")
+                })?;
+                if n == 0 {
+                    return Err("--crash-after 0 would exit before any work; \
+                         pass a positive cell count"
+                        .to_owned());
+                }
+                crash_after = Some(n);
+            }
             "--help" | "-h" => return Err(String::new()),
             "all" => targets.extend(Target::ALL),
             other if other.starts_with('-') => {
@@ -210,13 +273,51 @@ where
     if probe.is_some() && probe_out.is_none() {
         probe_out = Some(PathBuf::from("OBS_repro.jsonl"));
     }
+    match fault.as_mut() {
+        Some(spec) => spec.persistent = fault_persistent,
+        None if fault_persistent => {
+            return Err("--fault-persistent without --fault; add `--fault SEED:RATE`".into());
+        }
+        None => {}
+    }
+    if resume && checkpoint.is_none() {
+        return Err("--resume without --checkpoint; add `--checkpoint PATH`".into());
+    }
+    if crash_after.is_some() && checkpoint.is_none() {
+        return Err("--crash-after without --checkpoint; add `--checkpoint PATH`".into());
+    }
     Ok(Options {
         events,
         threads,
         bench_json,
         probe,
         probe_out,
+        fault,
+        checkpoint,
+        resume,
+        crash_after,
         targets,
+    })
+}
+
+/// Parses a `--fault` value: `SEED:RATE` with `RATE` in `[0, 1]`.
+fn parse_fault_spec(value: &str) -> Result<FaultSpec, String> {
+    let (seed, rate) = value
+        .split_once(':')
+        .ok_or_else(|| format!("--fault needs `SEED:RATE`, got `{value}`"))?;
+    let seed: u64 = seed
+        .parse()
+        .map_err(|_| format!("--fault seed must be an unsigned integer, got `{seed}`"))?;
+    let rate: f64 = rate
+        .parse()
+        .map_err(|_| format!("--fault rate must be a number in [0, 1], got `{rate}`"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--fault rate must be within [0, 1], got `{rate}`"));
+    }
+    Ok(FaultSpec {
+        seed,
+        rate,
+        persistent: false,
     })
 }
 
@@ -329,6 +430,60 @@ mod tests {
         assert!(parse(&["--probe"]).is_err());
         let err = parse(&["--probe-out", "x.jsonl"]).unwrap_err();
         assert!(err.contains("--probe-out without --probe"), "{err}");
+    }
+
+    #[test]
+    fn parses_fault_and_checkpoint_flags() {
+        let opts = parse(&[
+            "--fault",
+            "42:0.25",
+            "--fault-persistent",
+            "--checkpoint",
+            "ckpt.jsonl",
+            "--resume",
+            "--crash-after",
+            "3",
+            "fig1",
+        ])
+        .unwrap();
+        assert_eq!(
+            opts.fault,
+            Some(FaultSpec {
+                seed: 42,
+                rate: 0.25,
+                persistent: true,
+            })
+        );
+        assert!(opts.fault.unwrap().plan().persist);
+        assert_eq!(
+            opts.checkpoint.as_deref(),
+            Some(std::path::Path::new("ckpt.jsonl"))
+        );
+        assert!(opts.resume);
+        assert_eq!(opts.crash_after, Some(3));
+
+        // Defaults stay off.
+        let opts = parse(&["fig1"]).unwrap();
+        assert_eq!(opts.fault, None);
+        assert_eq!(opts.checkpoint, None);
+        assert!(!opts.resume);
+        assert_eq!(opts.crash_after, None);
+    }
+
+    #[test]
+    fn rejects_bad_fault_and_checkpoint_flags() {
+        assert!(parse(&["--fault", "42"]).is_err());
+        assert!(parse(&["--fault", "x:0.5"]).is_err());
+        assert!(parse(&["--fault", "42:high"]).is_err());
+        assert!(parse(&["--fault", "42:1.5"]).is_err());
+        assert!(parse(&["--fault", "42:-0.1"]).is_err());
+        let err = parse(&["--fault-persistent"]).unwrap_err();
+        assert!(err.contains("without --fault"), "{err}");
+        let err = parse(&["--resume"]).unwrap_err();
+        assert!(err.contains("without --checkpoint"), "{err}");
+        let err = parse(&["--crash-after", "2"]).unwrap_err();
+        assert!(err.contains("without --checkpoint"), "{err}");
+        assert!(parse(&["--checkpoint", "c.jsonl", "--crash-after", "0"]).is_err());
     }
 
     #[test]

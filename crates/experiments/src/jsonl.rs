@@ -1,5 +1,5 @@
 //! A minimal JSON reader for the workspace's own line-oriented
-//! schemas (`bench-repro/1`, `obs-repro/1`).
+//! schemas (`bench-repro/2`, `obs-repro/1`, `fault-repro/1`).
 //!
 //! The workspace builds offline with no `serde_json`, so the `obs`
 //! inspection tool and the golden-schema tests parse with this small
@@ -377,7 +377,7 @@ mod tests {
             total_wall_seconds: 1.0,
         };
         let v = parse(&report.to_json()).unwrap();
-        assert_eq!(v.str_field("schema"), Some("bench-repro/1"));
+        assert_eq!(v.str_field("schema"), Some("bench-repro/2"));
         assert_eq!(v.u64_field("threads"), Some(2));
     }
 }

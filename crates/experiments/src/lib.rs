@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod checkpoint;
 pub mod cli;
 pub mod fig1;
 pub mod fig2;
@@ -53,6 +54,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod ioutil;
 pub mod jsonl;
 pub mod obs;
 pub mod probe;
@@ -85,6 +87,11 @@ pub const SEED: u64 = 1;
 /// any thread count because every cell owns its simulator state and
 /// its (replayed) trace.
 pub use sim_core::parallel::par_map;
+
+/// The recovering variant of [`par_map`]: failed cells come back as
+/// [`sim_core::parallel::CellFailure`]s instead of panicking, which is
+/// how `repro` records degraded cells without aborting a sweep.
+pub use sim_core::parallel::try_par_map;
 
 /// The shared trace for `(workload, SEED, events)`, materialized once
 /// in the global [`TraceArena`] and replayed by every cell that needs

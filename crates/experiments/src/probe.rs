@@ -140,6 +140,14 @@ pub fn cell<R>(target: &'static str, label: impl FnOnce() -> String, f: impl FnO
             )
         }
     };
+    // Injection site: flushing the folded record is where a real sink
+    // would hit I/O. Transient faults retry inside the gate before the
+    // record is pushed (so a recovered flush stores it exactly once);
+    // a persistent fault unwinds and the scheduler's cell retry takes
+    // over.
+    if let Err(fault) = sim_core::fault::gate(sim_core::fault::FaultSite::ProbeFlush) {
+        std::panic::panic_any(fault);
+    }
     RECORDS.lock().expect("probe records poisoned").push(record);
     out
 }

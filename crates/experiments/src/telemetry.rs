@@ -68,9 +68,28 @@ pub struct FigureBench {
     pub wall_seconds: f64,
     /// Trace events the driver simulated (cells × events/workload).
     pub events: u64,
+    /// `true` when the cell exhausted its retry budget and the sweep
+    /// recorded a placeholder instead of results (schema
+    /// `bench-repro/2`).
+    pub degraded: bool,
+    /// `true` when the cell was restored from a `--resume` checkpoint
+    /// instead of being re-run (its `wall_seconds` is 0).
+    pub resumed: bool,
 }
 
 impl FigureBench {
+    /// A healthy, freshly computed measurement (the common case).
+    #[must_use]
+    pub fn ok(name: &'static str, wall_seconds: f64, events: u64) -> Self {
+        FigureBench {
+            name,
+            wall_seconds,
+            events,
+            degraded: false,
+            resumed: false,
+        }
+    }
+
     /// Simulated events per wall second.
     #[must_use]
     pub fn events_per_sec(&self) -> f64 {
@@ -131,8 +150,9 @@ impl BenchReport {
 
     /// Renders the report as the `BENCH_repro.json` document.
     ///
-    /// Schema (`bench-repro/1`): see EXPERIMENTS.md §"Runtime &
-    /// throughput" for field semantics.
+    /// Schema (`bench-repro/2`): see EXPERIMENTS.md §"Runtime &
+    /// throughput" for field semantics. Version 2 added the per-figure
+    /// `degraded` / `resumed` robustness fields.
     #[must_use]
     pub fn to_json(&self) -> String {
         self.to_json_with_arena(&TraceArena::global().stats())
@@ -145,7 +165,7 @@ impl BenchReport {
     pub fn to_json_with_arena(&self, arena: &ArenaStats) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"bench-repro/1\",\n");
+        out.push_str("  \"schema\": \"bench-repro/2\",\n");
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(
             out,
@@ -157,11 +177,13 @@ impl BenchReport {
             let comma = if i + 1 < self.figures.len() { "," } else { "" };
             let _ = writeln!(
                 out,
-                "    {{\"name\": {}, \"wall_seconds\": {}, \"events\": {}, \"events_per_sec\": {}}}{comma}",
+                "    {{\"name\": {}, \"wall_seconds\": {}, \"events\": {}, \"events_per_sec\": {}, \"degraded\": {}, \"resumed\": {}}}{comma}",
                 json_string(f.name),
                 json_f64(f.wall_seconds),
                 f.events,
                 json_f64(f.events_per_sec()),
+                f.degraded,
+                f.resumed,
             );
         }
         out.push_str("  ],\n");
@@ -236,19 +258,11 @@ mod tests {
 
     #[test]
     fn rates_and_lines_render() {
-        let f = FigureBench {
-            name: "fig1",
-            wall_seconds: 2.0,
-            events: 50_000_000,
-        };
+        let f = FigureBench::ok("fig1", 2.0, 50_000_000);
         assert!((f.events_per_sec() - 25_000_000.0).abs() < 1e-6);
         assert!(f.summary_line().contains("fig1"));
         assert!(f.summary_line().contains("25.0M"));
-        let zero = FigureBench {
-            name: "z",
-            wall_seconds: 0.0,
-            events: 5,
-        };
+        let zero = FigureBench::ok("z", 0.0, 5);
         assert_eq!(zero.events_per_sec(), 0.0);
     }
 
@@ -258,15 +272,10 @@ mod tests {
             threads: 4,
             events_per_workload: 1000,
             figures: vec![
+                FigureBench::ok("fig1", 1.5, 72_000),
                 FigureBench {
-                    name: "fig1",
-                    wall_seconds: 1.5,
-                    events: 72_000,
-                },
-                FigureBench {
-                    name: "fig3",
-                    wall_seconds: 0.5,
-                    events: 60_000,
+                    degraded: true,
+                    ..FigureBench::ok("fig3", 0.5, 60_000)
                 },
             ],
             total_wall_seconds: 2.0,
@@ -278,7 +287,9 @@ mod tests {
             "balanced braces:\n{json}"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-        assert!(json.contains("\"schema\": \"bench-repro/1\""));
+        assert!(json.contains("\"schema\": \"bench-repro/2\""));
+        assert!(json.contains("\"degraded\": true"));
+        assert!(json.contains("\"resumed\": false"));
         assert!(json.contains("\"events\": 132000"));
         assert!(json.contains("\"threads\": 4"));
         // No trailing commas before closers.

@@ -1,0 +1,200 @@
+//! Checkpoint/resume round-trips against the real `repro` binary:
+//!
+//! * a sweep killed mid-run (`--crash-after`) and resumed produces
+//!   stdout **byte-identical** to an uninterrupted run;
+//! * a truncated (torn-write) checkpoint degrades gracefully — the
+//!   torn cell re-runs, the output is still byte-identical;
+//! * a sweep degraded by persistent faults exits nonzero, and a clean
+//!   `--resume` afterwards heals it back to the fault-free output.
+//!
+//! Each scenario spawns its own processes and its own temp dir, so
+//! the tests are free to run concurrently.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Exit code `repro --crash-after` uses for its simulated kill.
+const CRASH_EXIT: i32 = 3;
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("repro stdout is UTF-8")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro_ckpt_{name}"));
+    // Stale state from a previous run must not leak into this one.
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The shared sweep shape: two figures, serial, small traces. Serial
+/// (`--threads 1`) pins the cell order so `--crash-after 1` always
+/// kills between fig1 and fig2.
+fn sweep_args<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+    let mut args = vec!["--threads", "1", "--events", "400"];
+    args.extend_from_slice(extra);
+    args.extend_from_slice(&["fig1", "fig2"]);
+    args
+}
+
+fn baseline_stdout() -> String {
+    let out = repro(&sweep_args(&[]));
+    assert!(
+        out.status.success(),
+        "baseline run failed: {}",
+        stderr_of(&out)
+    );
+    stdout_of(&out)
+}
+
+#[test]
+fn killed_and_resumed_sweep_matches_uninterrupted_run() {
+    let dir = scratch_dir("kill_resume");
+    let ckpt = dir.join("ckpt.jsonl");
+    let ckpt_str = ckpt.to_str().unwrap();
+    let baseline = baseline_stdout();
+
+    // Kill after the first cell is checkpointed.
+    let crashed = repro(&sweep_args(&[
+        "--checkpoint",
+        ckpt_str,
+        "--crash-after",
+        "1",
+    ]));
+    assert_eq!(
+        crashed.status.code(),
+        Some(CRASH_EXIT),
+        "crash-after must exit {CRASH_EXIT}: {}",
+        stderr_of(&crashed)
+    );
+    assert!(stderr_of(&crashed).contains("simulating a kill"));
+    let ckpt_text = std::fs::read_to_string(&ckpt).expect("checkpoint written before the kill");
+    assert!(ckpt_text.contains("\"schema\":\"fault-repro/1\""));
+    assert!(ckpt_text.contains("\"target\":\"fig1\""));
+    assert!(
+        !ckpt_text.contains("\"target\":\"fig2\""),
+        "the kill must land before fig2 completes"
+    );
+
+    // Resume: fig1 reprints from the checkpoint, fig2 runs fresh.
+    let resumed = repro(&sweep_args(&["--checkpoint", ckpt_str, "--resume"]));
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        stderr_of(&resumed)
+    );
+    assert!(
+        stderr_of(&resumed).contains("resuming: 1 of 2"),
+        "stderr: {}",
+        stderr_of(&resumed)
+    );
+    assert_eq!(
+        stdout_of(&resumed),
+        baseline,
+        "killed+resumed sweep must be byte-identical to an uninterrupted run"
+    );
+
+    // The merged checkpoint now covers both cells, so a second resume
+    // re-runs nothing.
+    let idle = repro(&sweep_args(&["--checkpoint", ckpt_str, "--resume"]));
+    assert!(idle.status.success());
+    assert!(stderr_of(&idle).contains("resuming: 2 of 2"));
+    assert_eq!(stdout_of(&idle), baseline);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_checkpoint_degrades_gracefully() {
+    let dir = scratch_dir("torn");
+    let ckpt = dir.join("ckpt.jsonl");
+    let ckpt_str = ckpt.to_str().unwrap();
+    let baseline = baseline_stdout();
+
+    // A complete checkpointed run, then tear the tail off the last
+    // line — the classic half-flushed-then-killed shape.
+    let full = repro(&sweep_args(&["--checkpoint", ckpt_str]));
+    assert!(full.status.success(), "{}", stderr_of(&full));
+    let text = std::fs::read_to_string(&ckpt).unwrap();
+    assert!(text.ends_with('\n'));
+    std::fs::write(&ckpt, &text[..text.len() - 10]).unwrap();
+    tear_then_resume_matches(&ckpt, &baseline, "resuming: 1 of 2");
+
+    // An outright corrupt checkpoint (not even a JSON header) is
+    // ignored wholesale: warn, run everything, same bytes.
+    std::fs::write(&ckpt, "not json at all\n").unwrap();
+    tear_then_resume_matches(&ckpt, &baseline, "");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn tear_then_resume_matches(ckpt: &Path, baseline: &str, expect_resume: &str) {
+    let out = repro(&sweep_args(&[
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--resume",
+    ]));
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("[ckpt]"),
+        "a damaged checkpoint must warn: {err}"
+    );
+    if !expect_resume.is_empty() {
+        assert!(err.contains(expect_resume), "stderr: {err}");
+    }
+    assert_eq!(
+        stdout_of(&out),
+        baseline,
+        "damage must cost re-runs, never bytes"
+    );
+}
+
+#[test]
+fn persistent_faults_degrade_then_a_clean_resume_heals() {
+    let dir = scratch_dir("heal");
+    let ckpt = dir.join("ckpt.jsonl");
+    let ckpt_str = ckpt.to_str().unwrap();
+    let baseline = baseline_stdout();
+
+    // Persistent faults at rate 1.0 defeat every retry: the sweep
+    // completes (no wedge, no abort) but every cell degrades and the
+    // run exits nonzero.
+    let degraded = repro(&sweep_args(&[
+        "--checkpoint",
+        ckpt_str,
+        "--fault",
+        "7:1.0",
+        "--fault-persistent",
+    ]));
+    assert_eq!(degraded.status.code(), Some(1), "{}", stderr_of(&degraded));
+    let out = stdout_of(&degraded);
+    assert!(out.contains("degraded ("), "stdout: {out}");
+    let err = stderr_of(&degraded);
+    assert!(err.contains("[fault] plan installed"));
+    assert!(err.contains("exhausted retries"));
+
+    // A clean resume ignores the degraded entries (only `ok` cells are
+    // skippable) and reproduces the fault-free bytes.
+    let healed = repro(&sweep_args(&["--checkpoint", ckpt_str, "--resume"]));
+    assert!(healed.status.success(), "{}", stderr_of(&healed));
+    assert_eq!(
+        stdout_of(&healed),
+        baseline,
+        "a degraded sweep must heal to the fault-free output on clean resume"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,31 +1,32 @@
 //! Golden tests pinning the machine-readable schemas the workspace
-//! emits: `bench-repro/1` (from `repro --bench-json`), `obs-repro/1`
-//! (from `repro --probe`), and `lint-repro/1` (from
+//! emits: `bench-repro/2` (from `repro --bench-json`), `obs-repro/1`
+//! (from `repro --probe`), `fault-repro/1` (from
+//! `repro --checkpoint`), and `lint-repro/1` (from
 //! `cargo run -p simlint -- --json`). Downstream tooling parses these
 //! files across PRs, so any field rename, reordering, or escaping
 //! change must show up as a deliberate diff here (and a schema version
 //! bump).
 
+use experiments::checkpoint::{self, CellEntry, CellStatus, CheckpointWriter};
 use experiments::probe::{render_jsonl, CellRecord, ProbeMode, RunHeader};
 use experiments::telemetry::{BenchReport, FigureBench};
 use sim_core::probe::{EpochSnapshot, Registry};
 use trace_gen::arena::ArenaStats;
 
 #[test]
-fn bench_repro_1_json_is_stable() {
+fn bench_repro_2_json_is_stable() {
     let report = BenchReport {
         threads: 2,
         events_per_workload: 1000,
         figures: vec![
+            FigureBench::ok("fig1", 1.5, 72_000),
             FigureBench {
-                name: "fig1",
-                wall_seconds: 1.5,
-                events: 72_000,
+                degraded: true,
+                ..FigureBench::ok("fig\"odd\\name", 0.0, 10)
             },
             FigureBench {
-                name: "fig\"odd\\name",
-                wall_seconds: 0.0,
-                events: 10,
+                resumed: true,
+                ..FigureBench::ok("fig3", 0.0, 60_000)
             },
         ],
         total_wall_seconds: 2.0,
@@ -38,18 +39,72 @@ fn bench_repro_1_json_is_stable() {
     };
     let expected = concat!(
         "{\n",
-        "  \"schema\": \"bench-repro/1\",\n",
+        "  \"schema\": \"bench-repro/2\",\n",
         "  \"threads\": 2,\n",
         "  \"events_per_workload\": 1000,\n",
         "  \"figures\": [\n",
-        "    {\"name\": \"fig1\", \"wall_seconds\": 1.500000, \"events\": 72000, \"events_per_sec\": 48000.000000},\n",
-        "    {\"name\": \"fig\\\"odd\\\\name\", \"wall_seconds\": 0.000000, \"events\": 10, \"events_per_sec\": 0.000000}\n",
+        "    {\"name\": \"fig1\", \"wall_seconds\": 1.500000, \"events\": 72000, \"events_per_sec\": 48000.000000, \"degraded\": false, \"resumed\": false},\n",
+        "    {\"name\": \"fig\\\"odd\\\\name\", \"wall_seconds\": 0.000000, \"events\": 10, \"events_per_sec\": 0.000000, \"degraded\": true, \"resumed\": false},\n",
+        "    {\"name\": \"fig3\", \"wall_seconds\": 0.000000, \"events\": 60000, \"events_per_sec\": 0.000000, \"degraded\": false, \"resumed\": true}\n",
         "  ],\n",
-        "  \"total\": {\"wall_seconds\": 2.000000, \"events\": 72010, \"events_per_sec\": 36005.000000},\n",
+        "  \"total\": {\"wall_seconds\": 2.000000, \"events\": 132010, \"events_per_sec\": 66005.000000},\n",
         "  \"arena\": {\"traces\": 3, \"resident_events\": 9000, \"replay_hits\": 7, \"materializations\": 3}\n",
         "}\n",
     );
     assert_eq!(report.to_json_with_arena(&arena), expected);
+}
+
+#[test]
+fn fault_repro_1_jsonl_is_stable() {
+    let dir = std::env::temp_dir().join("golden_fault_repro");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ckpt.jsonl");
+
+    let writer = CheckpointWriter::create(&path, 2000, &["fig1", "fig2"]).unwrap();
+    writer
+        .record(&CellEntry {
+            target: "fig1".to_owned(),
+            status: CellStatus::Ok,
+            events: 144_000,
+            // Exercise the escapes a rendered table needs: newlines
+            // and quotes.
+            rendered: "line \"one\"\nline two\n".to_owned(),
+            message: None,
+        })
+        .unwrap();
+    writer
+        .record(&CellEntry {
+            target: "fig2".to_owned(),
+            status: CellStatus::Degraded,
+            events: 0,
+            rendered: "fig2: degraded (injected worker fault (attempt 5))".to_owned(),
+            message: Some("injected worker fault (attempt 5)".to_owned()),
+        })
+        .unwrap();
+    drop(writer);
+
+    let expected = concat!(
+        "{\"schema\":\"fault-repro/1\",\"events_per_workload\":2000,\"targets\":[\"fig1\",\"fig2\"]}\n",
+        "{\"type\":\"cell\",\"target\":\"fig1\",\"status\":\"ok\",\"events\":144000,\"rendered\":\"line \\\"one\\\"\\u000aline two\\u000a\"}\n",
+        "{\"type\":\"cell\",\"target\":\"fig2\",\"status\":\"degraded\",\"events\":0,\"rendered\":\"fig2: degraded (injected worker fault (attempt 5))\",\"message\":\"injected worker fault (attempt 5)\"}\n",
+    );
+    let written = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(written, expected);
+
+    // The checkpoint must round-trip through the workspace's own JSON
+    // reader and its own loader.
+    let values = experiments::jsonl::parse_lines(&written).expect("golden checkpoint parses");
+    assert_eq!(values[0].str_field("schema"), Some(checkpoint::SCHEMA));
+    assert_eq!(
+        values[1].str_field("rendered"),
+        Some("line \"one\"\nline two\n")
+    );
+    let loaded = checkpoint::load(&path, 2000);
+    assert!(loaded.warnings.is_empty(), "{:?}", loaded.warnings);
+    assert_eq!(loaded.cells.len(), 2);
+    assert_eq!(loaded.cells[0].rendered, "line \"one\"\nline two\n");
+    assert_eq!(loaded.cells[1].status, CellStatus::Degraded);
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

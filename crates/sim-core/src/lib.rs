@@ -12,6 +12,8 @@
 //! * [`hash`] — the fast unkeyed [`hash::FxHasher`] for
 //!   simulator-internal maps ([`hash::FxHashMap`],
 //!   [`hash::FxHashSet`]);
+//! * [`fault`] — seeded, deterministic fault injection plus the
+//!   retry/backoff policy recovery sites share;
 //! * [`parallel`] — the order-preserving fork/join scheduler every
 //!   experiment fans independent cells out with;
 //! * [`probe`] — zero-overhead-when-disabled observability probes
@@ -35,6 +37,7 @@
 
 mod addr;
 mod cycle;
+pub mod fault;
 pub mod hash;
 pub mod parallel;
 pub mod probe;

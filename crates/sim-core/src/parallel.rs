@@ -18,6 +18,26 @@
 //! the basis for the repo's byte-identical serial-vs-parallel
 //! guarantee.
 //!
+//! # Panic isolation and retry
+//!
+//! A panicking cell no longer wedges or kills the sweep. Each item
+//! runs under [`std::panic::catch_unwind`]; a panic burns one
+//! *attempt* and — when a [`crate::fault`] plan is installed — the
+//! item is retried (with the plan's deterministic backoff) up to the
+//! plan's budget. Items that exhaust the budget come back as
+//! [`CellFailure`]s from [`try_par_map`], with every *other* item's
+//! result intact and computed exactly once. The infallible [`par_map`]
+//! keeps its historical contract: any failed cell panics on the
+//! caller's thread with the cell's own message. Without an installed
+//! fault plan the budget is one attempt, so a real panic on a plain
+//! run still fails fast.
+//!
+//! Retry sits *around* the cell closure, so a retried cell re-runs
+//! from scratch — correct here because cells are pure functions of
+//! their item (the same property that makes parallelism safe), and
+//! injected worker faults fire *before* the closure so transient
+//! chaos never double-runs a cell body.
+//!
 //! The worker count defaults to [`std::thread::available_parallelism`]
 //! and can be pinned — globally with [`set_max_threads`] (or the
 //! `SIM_THREADS` environment variable read at first use), or per call
@@ -31,8 +51,12 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+use std::any::Any;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+use crate::fault;
 
 /// Global worker-count override: 0 = automatic.
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -67,11 +91,92 @@ pub fn effective_threads(n: usize) -> usize {
     threads.clamp(1, n.max(1))
 }
 
+/// One cell that kept failing until its retry budget ran out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// The item's input-order index.
+    pub index: usize,
+    /// Attempts made (0 means the worker thread itself died and the
+    /// cell never got to run).
+    pub attempts: u32,
+    /// Whether any failed attempt was an *injected* fault (as opposed
+    /// to a real panic in the cell body).
+    pub injected: bool,
+    /// The final attempt's panic message.
+    pub message: String,
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell {} failed after {} attempt(s): {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for CellFailure {}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(fp) = payload.downcast_ref::<fault::FaultPanic>() {
+        fp.to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_owned()
+    }
+}
+
+/// Runs one cell through the retry loop: catch a panic, back off,
+/// re-run, and give up with a [`CellFailure`] once the installed fault
+/// plan's budget (or the single fail-fast attempt, when no plan is
+/// installed) is spent. Injected worker faults trip *before* `f`.
+fn run_item<T, R, F>(index: usize, item: &T, f: &F) -> Result<R, CellFailure>
+where
+    T: Clone,
+    F: Fn(T) -> R,
+{
+    let budget = fault::retry_attempts();
+    let mut pin = None;
+    let mut injected = false;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fault::worker_trip(&mut pin, attempt);
+            f(item.clone())
+        }));
+        match outcome {
+            Ok(r) => return Ok(r),
+            Err(payload) => {
+                injected |= payload.is::<fault::FaultPanic>();
+                if attempt >= budget {
+                    return Err(CellFailure {
+                        index,
+                        attempts: attempt,
+                        injected,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+                fault::backoff(attempt);
+            }
+        }
+    }
+}
+
 /// Maps `f` over `items` on scoped worker threads, preserving input
 /// order. Uses the global thread setting (see [`set_max_threads`]).
+///
+/// # Panics
+///
+/// Panics if any cell fails past its retry budget (see
+/// [`try_par_map`] for the recovering variant).
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
-    T: Send,
+    T: Send + Clone,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
@@ -82,15 +187,59 @@ where
 /// [`par_map`] with an explicit worker count. `threads <= 1` runs
 /// serially on the calling thread (no spawns), which is the reference
 /// order every parallel run must reproduce bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if any cell fails past its retry budget.
 pub fn par_map_threads<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
 where
-    T: Send,
+    T: Send + Clone,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    try_par_map_threads(threads, items, f)
+        .into_iter()
+        .map(|cell| match cell {
+            Ok(r) => r,
+            Err(failure) => panic!("{failure}"),
+        })
+        .collect()
+}
+
+/// [`try_par_map_threads`] with the global thread setting.
+pub fn try_par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<Result<R, CellFailure>>
+where
+    T: Send + Clone,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = effective_threads(items.len());
+    try_par_map_threads(threads, items, f)
+}
+
+/// The recovering scheduler: maps `f` over `items` in input order,
+/// isolating panics per cell and retrying under the installed
+/// [`crate::fault`] plan's budget. Every element of the returned `Vec`
+/// is either the cell's result or the [`CellFailure`] describing why
+/// it was given up — a poisoned cell never wedges the run, and the
+/// surviving cells each execute (successfully) exactly once.
+pub fn try_par_map_threads<T, R, F>(
+    threads: usize,
+    items: Vec<T>,
+    f: F,
+) -> Vec<Result<R, CellFailure>>
+where
+    T: Send + Clone,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
     if n <= 1 || threads <= 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(idx, item)| run_item(idx, item, &f))
+            .collect();
     }
     let threads = threads.min(n);
 
@@ -109,7 +258,7 @@ where
     let f = &f;
     let chunks = &chunks;
     let next_chunk = &next_chunk;
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut slots: Vec<Option<Result<R, CellFailure>>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -122,7 +271,7 @@ where
                         // is claimed by exactly one worker.
                         let work = std::mem::take(&mut *chunk.lock().expect("chunk lock"));
                         for (idx, item) in work {
-                            out.push((idx, f(item)));
+                            out.push((idx, run_item(idx, &item, f)));
                         }
                     }
                     out
@@ -130,14 +279,30 @@ where
             })
             .collect();
         for h in handles {
-            for (idx, r) in h.join().expect("worker panicked") {
-                slots[idx] = Some(r);
+            // A worker can only die to a panic that escaped the
+            // per-cell catch_unwind (e.g. abort-adjacent foreign
+            // panics). Losing one worker must not wedge the others'
+            // results: its unfinished cells surface below as failures.
+            if let Ok(pairs) = h.join() {
+                for (idx, r) in pairs {
+                    slots[idx] = Some(r);
+                }
             }
         }
     });
     slots
         .into_iter()
-        .map(|s| s.expect("all slots filled"))
+        .enumerate()
+        .map(|(index, slot)| {
+            slot.unwrap_or_else(|| {
+                Err(CellFailure {
+                    index,
+                    attempts: 0,
+                    injected: false,
+                    message: "worker thread died before running this cell".to_owned(),
+                })
+            })
+        })
         .collect()
 }
 
@@ -188,5 +353,39 @@ mod tests {
         assert_eq!(effective_threads(0), 1);
         assert_eq!(effective_threads(1), 1);
         assert!(effective_threads(1000) >= 1);
+    }
+
+    #[test]
+    fn try_variant_isolates_a_real_panic() {
+        // No fault plan installed in unit tests → one attempt, fail
+        // fast, but the other cells must still complete and stay
+        // ordered. (Fault-plan scenarios live in tests/panic_recovery
+        // because the plan is process-global.)
+        for threads in [1, 4] {
+            let out = try_par_map_threads(threads, (0u32..8).collect(), |x| {
+                assert!(x != 5, "boom at five");
+                x * 10
+            });
+            for (i, cell) in out.iter().enumerate() {
+                if i == 5 {
+                    let failure = cell.as_ref().expect_err("cell 5 must fail");
+                    assert_eq!(failure.index, 5);
+                    assert_eq!(failure.attempts, 1);
+                    assert!(!failure.injected);
+                    assert!(failure.message.contains("boom at five"));
+                } else {
+                    assert_eq!(cell.as_ref().copied(), Ok(i as u32 * 10));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at three")]
+    fn infallible_variant_still_panics_on_failure() {
+        let _ = par_map_threads(2, (0u32..6).collect(), |x| {
+            assert!(x != 3, "boom at three");
+            x
+        });
     }
 }

@@ -532,12 +532,15 @@ pub fn event_json_fields(ev: &ProbeEvent) -> String {
 /// Streams one compact JSON object per event to a writer — the
 /// `--probe raw` sink.
 ///
-/// Write errors are sticky: the first failure stops further writes and
-/// is reported by [`JsonlSink::finish`].
+/// Write errors are sticky: the first failure stops further writes,
+/// every event arriving after it is *counted* as dropped, and
+/// [`JsonlSink::finish`] reports both numbers — nothing is swallowed
+/// silently.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     out: W,
     written: u64,
+    dropped: u64,
     failed: bool,
 }
 
@@ -547,8 +550,16 @@ impl<W: Write> JsonlSink<W> {
         JsonlSink {
             out,
             written: 0,
+            dropped: 0,
             failed: false,
         }
+    }
+
+    /// Events the sink discarded after its first write failure (zero
+    /// on a healthy sink).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Consumes the sink, returning the writer and the number of
@@ -556,10 +567,15 @@ impl<W: Write> JsonlSink<W> {
     ///
     /// # Errors
     ///
-    /// Returns an I/O error if any event failed to serialize.
+    /// Returns an I/O error if any event failed to serialize; the
+    /// message carries the written/dropped counts so a partial file is
+    /// diagnosable.
     pub fn finish(self) -> std::io::Result<(W, u64)> {
         if self.failed {
-            return Err(std::io::Error::other("probe event write failed"));
+            return Err(std::io::Error::other(format!(
+                "probe event write failed ({} events written, {} dropped after the failure)",
+                self.written, self.dropped
+            )));
         }
         Ok((self.out, self.written))
     }
@@ -568,10 +584,12 @@ impl<W: Write> JsonlSink<W> {
 impl<W: Write> Sink for JsonlSink<W> {
     fn event(&mut self, ev: &ProbeEvent) {
         if self.failed {
+            self.dropped += 1;
             return;
         }
         if writeln!(self.out, "{{{}}}", event_json_fields(ev)).is_err() {
             self.failed = true;
+            self.dropped += 1;
         } else {
             self.written += 1;
         }
@@ -750,6 +768,42 @@ mod tests {
             "{\"kind\":\"access\",\"hit\":true}\n\
              {\"kind\":\"filter\",\"unit\":\"prefetch\",\"fired\":false}\n"
         );
+    }
+
+    #[test]
+    fn jsonl_sink_reports_failed_writes_and_dropped_events() {
+        /// Accepts `limit` bytes, then fails every write.
+        #[derive(Debug)]
+        struct Choked {
+            limit: usize,
+            taken: usize,
+        }
+        impl std::io::Write for Choked {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.taken + buf.len() > self.limit {
+                    return Err(std::io::Error::other("disk full"));
+                }
+                self.taken += buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut sink = JsonlSink::new(Choked {
+            limit: 40,
+            taken: 0,
+        });
+        sink.event(&ProbeEvent::Access { hit: true }); // fits
+        for _ in 0..3 {
+            sink.event(&ProbeEvent::Access { hit: false }); // choked
+        }
+        assert_eq!(sink.dropped(), 3);
+        let err = sink.finish().expect_err("failed sink must not finish Ok");
+        let msg = err.to_string();
+        assert!(msg.contains("1 events written"), "got: {msg}");
+        assert!(msg.contains("3 dropped"), "got: {msg}");
     }
 
     #[test]

@@ -128,6 +128,14 @@ impl TraceArena {
         };
         let mut materialized = false;
         let trace = cell.get_or_init(|| {
+            // Injection site: a transient fault retries inside the
+            // gate and falls through to generate; a persistent one
+            // unwinds (the `OnceLock` stays uninitialized, so a
+            // retried cell re-attempts materialization from scratch).
+            if let Err(fault) = sim_core::fault::gate(sim_core::fault::FaultSite::ArenaMaterialize)
+            {
+                std::panic::panic_any(fault);
+            }
             materialized = true;
             let mut src = source();
             let trace: Vec<TraceEvent> = (0..events).map(|_| src.next_event()).collect();

@@ -213,6 +213,14 @@ impl DecomposedArena {
         };
         let mut decomposed = false;
         let result = cell.get_or_init(|| {
+            // Injection site: transient faults retry inside the gate;
+            // a persistent one unwinds via panic_any (no panicking
+            // macro on this replay path), leaving the `OnceLock`
+            // uninitialized so a retried cell re-attempts the split.
+            if let Err(fault) = sim_core::fault::gate(sim_core::fault::FaultSite::ArenaMaterialize)
+            {
+                std::panic::panic_any(fault);
+            }
             decomposed = true;
             Arc::new(DecomposedTrace::decompose(&trace(), line_size, set_bits))
         });
