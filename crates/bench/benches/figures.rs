@@ -3,16 +3,17 @@
 //! policies of that figure) at a reduced event count and reports the
 //! wall time of regenerating the artifact.
 //!
-//! All targets live in the `figures` group (`figures/fig1_…`), the
-//! end-to-end layer of the bench taxonomy; per-component costs are the
-//! `substrate` group in `substrate.rs`.
+//! All targets live in the `figure_drivers` group
+//! (`figure_drivers/fig1_…`), the end-to-end layer of the bench
+//! taxonomy; per-component costs are the `substrate/*` groups in
+//! `substrate.rs`.
 
 use bench_suite::BENCH_EVENTS;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
+    let mut g = c.benchmark_group("figure_drivers");
     g.bench_function("fig1_accuracy_four_configs", |b| {
         b.iter(|| black_box(experiments::fig1::run(black_box(BENCH_EVENTS))))
     });

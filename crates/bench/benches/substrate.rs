@@ -5,7 +5,7 @@
 //! MAT-style every-access structures dominate simulation cost.
 
 use cache_model::oracle::ThreeCClassifier;
-use cache_model::{CacheGeometry, SetAssocCache};
+use cache_model::{BlockOutcome, CacheGeometry, SetAssocCache};
 use cpu_model::{BaselineSystem, CpuConfig, OooModel};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mct::{ClassifyingCache, TagBits};
@@ -25,7 +25,7 @@ fn lines(n: usize) -> Vec<sim_core::LineAddr> {
 
 fn bench_plain_cache(c: &mut Criterion) {
     let refs = lines(N);
-    let mut g = c.benchmark_group("substrate");
+    let mut g = c.benchmark_group("substrate/pipeline");
     g.throughput(Throughput::Elements(N as u64));
     g.bench_function("plain_cache_probe_fill", |b| {
         b.iter(|| {
@@ -44,7 +44,7 @@ fn bench_plain_cache(c: &mut Criterion) {
 
 fn bench_classifying_cache(c: &mut Criterion) {
     let refs = lines(N);
-    let mut g = c.benchmark_group("substrate");
+    let mut g = c.benchmark_group("substrate/pipeline");
     g.throughput(Throughput::Elements(N as u64));
     g.bench_function("mct_classifying_cache", |b| {
         b.iter(|| {
@@ -81,7 +81,7 @@ fn bench_probe_null(c: &mut Criterion) {
         }
         black_box(cache.class_counts())
     };
-    let mut g = c.benchmark_group("substrate");
+    let mut g = c.benchmark_group("substrate/pipeline");
     g.throughput(Throughput::Elements(N as u64));
     g.bench_function("probe_disarmed", |b| b.iter(|| run(&refs)));
     g.bench_function("probe_null", |b| {
@@ -95,7 +95,7 @@ fn bench_probe_null(c: &mut Criterion) {
 
 fn bench_oracle(c: &mut Criterion) {
     let refs = lines(N);
-    let mut g = c.benchmark_group("substrate");
+    let mut g = c.benchmark_group("substrate/pipeline");
     g.throughput(Throughput::Elements(N as u64));
     g.bench_function("three_c_oracle", |b| {
         b.iter(|| {
@@ -115,7 +115,7 @@ fn bench_oracle(c: &mut Criterion) {
 /// is a pure cache hit — exactly what the experiment drivers see.
 fn bench_trace_supply(c: &mut Criterion) {
     let w = workloads::by_name("gcc").expect("gcc analog exists");
-    let mut g = c.benchmark_group("substrate");
+    let mut g = c.benchmark_group("substrate/pipeline");
     g.throughput(Throughput::Elements(N as u64));
     g.bench_function("stream_generate", |b| {
         b.iter(|| {
@@ -162,7 +162,7 @@ fn bench_cache_kernel(c: &mut Criterion) {
         .map(|i| sim_core::LineAddr::new((i % (2 * assoc)) * num_sets))
         .collect();
 
-    let mut g = c.benchmark_group("cache_kernel");
+    let mut g = c.benchmark_group("substrate/cache_kernel");
     g.throughput(Throughput::Elements(N as u64));
     for (pattern, refs) in [("dense", &dense), ("conflict", &conflict)] {
         g.bench_function(&format!("probe_{pattern}"), |b| {
@@ -194,6 +194,48 @@ fn bench_cache_kernel(c: &mut Criterion) {
             })
         });
     }
+
+    // Block-size sweep over the same two patterns: decompose once,
+    // then replay the (set, tag) arrays per event (`replay_per_event`,
+    // the committed baseline the ≥2× target is measured against) and
+    // through `access_block` at each candidate size. The sweep picked
+    // `experiments::DEFAULT_REPLAY_BLOCK` — see EXPERIMENTS.md, "Cache
+    // kernel round two".
+    for (pattern, refs) in [("dense", &dense), ("conflict", &conflict)] {
+        let (sets, tags): (Vec<u32>, Vec<u64>) = refs
+            .iter()
+            .map(|&line| (geom.set_index(line) as u32, geom.tag(line)))
+            .unzip();
+        g.bench_function(&format!("replay_per_event_{pattern}"), |b| {
+            b.iter(|| {
+                let mut cache: SetAssocCache<u32> = SetAssocCache::new(geom);
+                let mut evictions = 0u64;
+                for (&set, &tag) in sets.iter().zip(&tags) {
+                    if cache.probe_at(set as usize, tag).is_none() {
+                        evictions += u64::from(cache.fill_at(set as usize, tag, 7).is_some());
+                    }
+                }
+                black_box(evictions)
+            })
+        });
+        for block in [64usize, 256, 1024, 4096] {
+            g.bench_function(&format!("block{block}_{pattern}"), |b| {
+                let mut out = vec![BlockOutcome::Hit; block];
+                b.iter(|| {
+                    let mut cache: SetAssocCache<u32> = SetAssocCache::new(geom);
+                    let mut evictions = 0u64;
+                    for (s, t) in sets.chunks(block).zip(tags.chunks(block)) {
+                        let outcomes = &mut out[..s.len()];
+                        cache.access_block(s, t, outcomes);
+                        for &outcome in outcomes.iter() {
+                            evictions += u64::from(outcome == BlockOutcome::FilledEvicting);
+                        }
+                    }
+                    black_box(evictions)
+                })
+            });
+        }
+    }
     g.finish();
 }
 
@@ -201,7 +243,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
     let w = workloads::by_name("gcc").expect("gcc analog exists");
     let mut src = w.source(7);
     let trace: Vec<_> = (0..N).map(|_| src.next_event()).collect();
-    let mut g = c.benchmark_group("substrate");
+    let mut g = c.benchmark_group("substrate/pipeline");
     g.throughput(Throughput::Elements(N as u64));
     g.bench_function("cpu_plus_baseline_memory", |b| {
         b.iter(|| {

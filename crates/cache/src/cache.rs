@@ -96,6 +96,14 @@ pub struct SetAssocCache<M = ()> {
     stats: CacheStats,
     replacement: Replacement,
     evictions: u64,
+    /// Evictions per set. Random victim choice is seeded from this
+    /// (not the global count) so the victim a set picks depends only
+    /// on that set's own history — the property that lets block replay
+    /// visit sets out of trace order and still match per-event replay.
+    set_evictions: Box<[u32]>,
+    /// Bucketing scratch for [`Self::access_block_with`], reused
+    /// across blocks (taken out of the struct while a block runs).
+    scratch: Option<BlockScratch>,
     probed: bool,
 }
 
@@ -126,6 +134,8 @@ impl<M> SetAssocCache<M> {
             stats: CacheStats::default(),
             replacement,
             evictions: 0,
+            set_evictions: crate::pool::take_u32_zeroed(geom.num_sets()),
+            scratch: None,
             probed: false,
         }
     }
@@ -158,28 +168,18 @@ impl<M> SetAssocCache<M> {
         let occ = self.occ[set_index] as usize;
         debug_assert!(occ > 0, "victim choice in an empty set");
         match self.replacement {
-            Replacement::Lru | Replacement::Fifo => {
-                // Plain min scan (total even on an empty slice, unlike
-                // a min_by_key().expect() chain, and branch-predictable
-                // on the 1-8 way geometries the experiments sweep).
-                let mut way = 0;
-                let mut min = u64::MAX;
-                for (i, &stamp) in self.stamps[base..base + occ].iter().enumerate() {
-                    if stamp < min {
-                        min = stamp;
-                        way = i;
-                    }
-                }
-                way
-            }
+            Replacement::Lru | Replacement::Fifo => min_stamp_way(&self.stamps[base..base + occ]),
             Replacement::Random => {
-                // Deterministic per (eviction count, set): the same
-                // victim is reported by eviction_candidate and taken
-                // by the subsequent fill.
-                let mut rng = sim_core::rng::SplitMix64::new(
-                    self.evictions ^ (set_index as u64).rotate_left(32),
-                );
-                rng.next_below(occ as u64) as usize
+                // Deterministic per (set's eviction count, set): the
+                // same victim is reported by eviction_candidate and
+                // taken by the subsequent fill, and the choice is
+                // independent of other sets' traffic (block replay
+                // relies on that).
+                RandomPolicy::victim(
+                    &self.stamps[base..base + occ],
+                    self.set_evictions[set_index],
+                    set_index,
+                )
             }
         }
     }
@@ -296,6 +296,7 @@ impl<M> SetAssocCache<M> {
         // Displace the policy's victim.
         let way = self.victim_way(set_index);
         self.evictions += 1;
+        self.set_evictions[set_index] += 1;
         if self.probed && probe::active() {
             probe::emit(probe::ProbeEvent::SetEvict {
                 set: set_index as u32,
@@ -382,6 +383,492 @@ impl<M> SetAssocCache<M> {
     }
 }
 
+/// The outcome of one event in a block replay
+/// ([`SetAssocCache::access_block`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockOutcome {
+    /// The line was resident.
+    #[default]
+    Hit,
+    /// The line missed and filled an empty way.
+    FilledEmpty,
+    /// The line missed and its fill displaced a resident line.
+    FilledEvicting,
+}
+
+/// Per-event callbacks a block replay drives
+/// ([`SetAssocCache::access_block_with`]).
+///
+/// `index` is the event's position in the caller's block: the kernel
+/// visits events set by set, not in block order, so sinks scatter
+/// their results through the index instead of appending.
+pub trait BlockSink<M> {
+    /// Called on a hit with the resident line's metadata.
+    fn hit(&mut self, index: usize, meta: &mut M);
+    /// Called on a miss *before* the fill (the MCT protocol
+    /// classifies against pre-fill state); returns the metadata the
+    /// filled line carries.
+    fn miss(&mut self, index: usize, set: usize, tag: u64) -> M;
+    /// Called when the fill of event `index` displaced a resident
+    /// line.
+    fn evicted(&mut self, index: usize, set: usize, evicted_tag: u64, evicted_meta: M);
+}
+
+/// Reusable bucketing scratch for [`SetAssocCache::access_block_with`]:
+/// one counting-sort workspace, recycled across blocks.
+#[derive(Debug, Clone)]
+struct BlockScratch {
+    /// Per-set event count, then running start offset during the
+    /// scatter; re-zeroed (touched sets only) after every block.
+    counts: Box<[u32]>,
+    /// Sets with at least one event in the current block, in
+    /// first-appearance order.
+    touched: Vec<u32>,
+    /// Block event indices grouped by set, trace order within a set.
+    order: Vec<u32>,
+    /// The block's set indices in bucketed order — `sorted_sets[i]`
+    /// is the set of event `order[i]`. Scattered alongside `order` so
+    /// the replay walk reads sets and tags sequentially instead of
+    /// gathering `sets[order[i]]` from random block positions.
+    sorted_sets: Vec<u32>,
+    /// The block's tags in bucketed order, paired with `sorted_sets`.
+    sorted_tags: Vec<u64>,
+    /// Identity indices `0..block_len`, grown on demand: the
+    /// trace-order (unsorted) path slices event indices out of this
+    /// instead of materializing them per block.
+    iota: Vec<u32>,
+}
+
+/// Slot count (sets × ways) above which a block is bucketed by set
+/// before replay. Below it the kernel arrays are cache-resident
+/// anyway, so sorting is pure overhead and blocks run in trace order;
+/// above it, grouping a block's events by set turns random row
+/// accesses into per-set runs and an ascending sweep. The paper's
+/// L1/L2 shapes (≤ 16K slots ≈ 384 KB of rows) stay below the
+/// threshold; the MRC-scale geometries ROADMAP item 4 targets sit
+/// above it.
+const SORT_SLOT_THRESHOLD: usize = 16 * 1024;
+
+impl BlockScratch {
+    /// Stable counting sort of the block's events by set.
+    ///
+    /// Touched-set bookkeeping keeps the cost proportional to the
+    /// block, not the geometry: only counters that became nonzero are
+    /// visited for the prefix sum and the re-zeroing. The scatter
+    /// moves whole `(index, set, tag)` tuples, not just indices: one
+    /// random write per event here buys fully sequential reads in the
+    /// replay walk, which would otherwise pay two random gathers per
+    /// event on blocks larger than L1.
+    fn bucket(&mut self, sets: &[u32], tags: &[u64]) {
+        self.touched.clear();
+        self.order.clear();
+        self.order.resize(sets.len(), 0);
+        self.sorted_sets.clear();
+        self.sorted_sets.resize(sets.len(), 0);
+        self.sorted_tags.clear();
+        self.sorted_tags.resize(sets.len(), 0);
+        for &set in sets {
+            let count = &mut self.counts[set as usize];
+            if *count == 0 {
+                self.touched.push(set);
+            }
+            *count += 1;
+        }
+        // Counts become running start offsets, bucket order following
+        // first appearance.
+        let mut next = 0u32;
+        for &set in &self.touched {
+            let count = &mut self.counts[set as usize];
+            let bucket = *count;
+            *count = next;
+            next += bucket;
+        }
+        // Forward scatter: stable, so within a set trace order
+        // survives — the property the equivalence proof leans on.
+        for (i, (&set, &tag)) in sets.iter().zip(tags).enumerate() {
+            let slot = &mut self.counts[set as usize];
+            let pos = *slot as usize;
+            self.order[pos] = i as u32;
+            self.sorted_sets[pos] = set;
+            self.sorted_tags[pos] = tag;
+            *slot += 1;
+        }
+        for &set in &self.touched {
+            self.counts[set as usize] = 0;
+        }
+    }
+}
+
+/// Replacement policy, monomorphized for the block engine: the
+/// per-event `match` on [`Replacement`] becomes one dispatch per
+/// block.
+trait BlockPolicy {
+    /// Whether a hit refreshes the line's stamp (true LRU only).
+    const REFRESH_ON_HIT: bool;
+    /// Victim way among `stamps`, the resident stamps of `set_index`.
+    fn victim(stamps: &[u64], set_evictions: u32, set_index: usize) -> usize;
+}
+
+struct LruPolicy;
+struct FifoPolicy;
+struct RandomPolicy;
+
+impl BlockPolicy for LruPolicy {
+    const REFRESH_ON_HIT: bool = true;
+    #[inline]
+    fn victim(stamps: &[u64], _set_evictions: u32, _set_index: usize) -> usize {
+        min_stamp_way(stamps)
+    }
+}
+
+impl BlockPolicy for FifoPolicy {
+    // FIFO victims ignore recency; stamps are written at fill only.
+    const REFRESH_ON_HIT: bool = false;
+    #[inline]
+    fn victim(stamps: &[u64], _set_evictions: u32, _set_index: usize) -> usize {
+        min_stamp_way(stamps)
+    }
+}
+
+impl BlockPolicy for RandomPolicy {
+    const REFRESH_ON_HIT: bool = false;
+    #[inline]
+    fn victim(stamps: &[u64], set_evictions: u32, set_index: usize) -> usize {
+        let mut rng = sim_core::rng::SplitMix64::new(
+            u64::from(set_evictions) ^ (set_index as u64).rotate_left(32),
+        );
+        rng.next_below(stamps.len() as u64) as usize
+    }
+}
+
+/// Index of the minimum stamp — a plain min scan (total even on an
+/// empty slice, and branch-predictable on the 1-8 way geometries the
+/// experiments sweep). Stamps are globally unique, so there are no
+/// ties and the victim is independent of scan order.
+#[inline]
+fn min_stamp_way(stamps: &[u64]) -> usize {
+    let mut way = 0;
+    let mut min = u64::MAX;
+    for (i, &stamp) in stamps.iter().enumerate() {
+        if stamp < min {
+            min = stamp;
+            way = i;
+        }
+    }
+    way
+}
+
+/// The sink behind [`SetAssocCache::access_block`]: records plain
+/// outcomes and fills with default metadata.
+struct OutcomeSink<'a> {
+    out: &'a mut [BlockOutcome],
+}
+
+impl<M: Default> BlockSink<M> for OutcomeSink<'_> {
+    #[inline]
+    fn hit(&mut self, index: usize, _meta: &mut M) {
+        self.out[index] = BlockOutcome::Hit;
+    }
+    #[inline]
+    fn miss(&mut self, index: usize, _set: usize, _tag: u64) -> M {
+        self.out[index] = BlockOutcome::FilledEmpty;
+        M::default()
+    }
+    #[inline]
+    fn evicted(&mut self, index: usize, _set: usize, _evicted_tag: u64, _evicted_meta: M) {
+        self.out[index] = BlockOutcome::FilledEvicting;
+    }
+}
+
+impl<M> SetAssocCache<M> {
+    /// Replays a block of decomposed accesses through a sink.
+    ///
+    /// Semantically identical to the per-event loop
+    ///
+    /// ```ignore
+    /// for i in 0..sets.len() {
+    ///     match cache.probe_at(sets[i] as usize, tags[i]) {
+    ///         Some(meta) => sink.hit(i, meta),
+    ///         None => {
+    ///             let meta = sink.miss(i, sets[i] as usize, tags[i]);
+    ///             if let Some(ev) = cache.fill_at(sets[i] as usize, tags[i], meta) {
+    ///                 sink.evicted(i, ..);
+    ///             }
+    ///         }
+    ///     }
+    /// }
+    /// ```
+    ///
+    /// but the probe-armed check and the replacement-policy branch
+    /// run once per block instead of once per event, and events are
+    /// replayed as same-set *runs* whose row, clock, and counters
+    /// live in locals. On geometries past the sort threshold the
+    /// block is first bucketed by set index with a stable counting
+    /// sort, so consecutive probes touch the same `tags`/`stamps`
+    /// rows while they are cache-resident; cache-resident geometries
+    /// keep trace order (sorting would be pure overhead). Within a
+    /// set, events keep trace order either way; victim choice depends
+    /// only on within-set state (per-set eviction counters for
+    /// Random), so hits, misses, evictions, statistics and final
+    /// contents all match per-event replay exactly.
+    ///
+    /// When this cache reports set probes and a probe sink is armed,
+    /// the block falls back to exact per-event order so the emitted
+    /// event stream is byte-identical to unbatched replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or a set index is out of
+    /// range for the geometry.
+    pub fn access_block_with<S: BlockSink<M>>(&mut self, sets: &[u32], tags: &[u64], sink: &mut S) {
+        assert_eq!(sets.len(), tags.len(), "sets/tags length mismatch");
+        if self.probed && probe::active() {
+            self.block_fallback(sets, tags, sink);
+            return;
+        }
+        match self.replacement {
+            Replacement::Lru => self.process_block::<LruPolicy, S>(sets, tags, sink),
+            Replacement::Fifo => self.process_block::<FifoPolicy, S>(sets, tags, sink),
+            Replacement::Random => self.process_block::<RandomPolicy, S>(sets, tags, sink),
+        }
+    }
+
+    /// [`Self::access_block_with`] with a plain outcome array instead
+    /// of a sink: misses fill `M::default()` metadata and each event
+    /// records whether it hit, filled an empty way, or displaced a
+    /// line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices differ in length or a set index is
+    /// out of range for the geometry.
+    pub fn access_block(&mut self, sets: &[u32], tags: &[u64], out: &mut [BlockOutcome])
+    where
+        M: Default,
+    {
+        assert_eq!(sets.len(), out.len(), "sets/out length mismatch");
+        let mut sink = OutcomeSink { out };
+        self.access_block_with(sets, tags, &mut sink);
+    }
+
+    /// Probe-armed fallback: per-event order, via the exact entry
+    /// points unbatched replay uses, so probe event streams are
+    /// unchanged by batching.
+    fn block_fallback<S: BlockSink<M>>(&mut self, sets: &[u32], tags: &[u64], sink: &mut S) {
+        for (i, (&set, &tag)) in sets.iter().zip(tags).enumerate() {
+            let set = set as usize;
+            if let Some(meta) = self.probe_at(set, tag) {
+                sink.hit(i, meta);
+                continue;
+            }
+            let meta = sink.miss(i, set, tag);
+            if let Some(ev) = self.fill_at(set, tag, meta) {
+                let evicted_tag = self.geom.tag(ev.line);
+                sink.evicted(i, set, evicted_tag, ev.meta);
+            }
+        }
+    }
+
+    /// The bucketed engine, monomorphized per replacement policy.
+    fn process_block<P: BlockPolicy, S: BlockSink<M>>(
+        &mut self,
+        sets: &[u32],
+        tags: &[u64],
+        sink: &mut S,
+    ) {
+        // Scratch is taken out of the struct for the duration of the
+        // block so its arrays and the kernel arrays borrow disjointly.
+        let mut scratch = match self.scratch.take() {
+            Some(scratch) => scratch,
+            None => BlockScratch {
+                counts: crate::pool::take_u32_zeroed(self.occ.len()),
+                touched: Vec::new(),
+                order: Vec::new(),
+                sorted_sets: Vec::new(),
+                sorted_tags: Vec::new(),
+                iota: Vec::new(),
+            },
+        };
+        if self.tags.len() > SORT_SLOT_THRESHOLD {
+            // Large geometry: bucket by set, then replay per-set runs
+            // in an ascending sweep over the kernel arrays.
+            scratch.bucket(sets, tags);
+            let mut start = 0;
+            let len = scratch.order.len();
+            while start < len {
+                let set = scratch.sorted_sets[start];
+                let mut end = start + 1;
+                while end < len && scratch.sorted_sets[end] == set {
+                    end += 1;
+                }
+                if end == start + 1 {
+                    self.block_single::<P, S>(
+                        scratch.order[start] as usize,
+                        set as usize,
+                        scratch.sorted_tags[start],
+                        sink,
+                    );
+                } else {
+                    self.block_run::<P, S>(
+                        set as usize,
+                        &scratch.order[start..end],
+                        &scratch.sorted_tags[start..end],
+                        sink,
+                    );
+                }
+                start = end;
+            }
+        } else {
+            // Cache-resident geometry: trace order, with natural runs
+            // of adjacent same-set events (spatial locality) still
+            // folded into single row visits.
+            if scratch.iota.len() < sets.len() {
+                let from = scratch.iota.len() as u32;
+                scratch.iota.extend(from..sets.len() as u32);
+            }
+            let mut start = 0;
+            while start < sets.len() {
+                let set = sets[start];
+                let mut end = start + 1;
+                while end < sets.len() && sets[end] == set {
+                    end += 1;
+                }
+                if end == start + 1 {
+                    self.block_single::<P, S>(start, set as usize, tags[start], sink);
+                } else {
+                    self.block_run::<P, S>(
+                        set as usize,
+                        &scratch.iota[start..end],
+                        &tags[start..end],
+                        sink,
+                    );
+                }
+                start = end;
+            }
+        }
+        self.scratch = Some(scratch);
+    }
+
+    /// Replays one isolated event of a block — a run of length one.
+    ///
+    /// Cuts [`Self::block_run`]'s row-slice setup and multi-field
+    /// write-back down to the same touch pattern as the legacy
+    /// `probe_at`/`fill_at` pair, which matters on patterns with no
+    /// adjacent same-set events (a strided set walk degenerates every
+    /// run to length one). The policy is still monomorphized and the
+    /// probe-armed check already ran once for the whole block.
+    fn block_single<P: BlockPolicy, S: BlockSink<M>>(
+        &mut self,
+        index: usize,
+        set: usize,
+        tag: u64,
+        sink: &mut S,
+    ) {
+        let base = set * self.assoc;
+        let occ = self.occ[set] as usize;
+        self.clock += 1;
+        if let Some(way) = self.tags[base..base + occ].iter().position(|&t| t == tag) {
+            self.stats.record_hit();
+            if P::REFRESH_ON_HIT {
+                self.stamps[base + way] = self.clock;
+            }
+            // Total: ways 0..occ hold Some meta by construction.
+            if let Some(meta) = self.meta[base + way].as_mut() {
+                sink.hit(index, meta);
+            }
+            return;
+        }
+        self.stats.record_miss();
+        let meta = sink.miss(index, set, tag);
+        self.clock += 1;
+        if occ < self.assoc {
+            self.tags[base + occ] = tag;
+            self.stamps[base + occ] = self.clock;
+            self.meta[base + occ] = Some(meta);
+            self.occ[set] = (occ + 1) as u32;
+            self.resident += 1;
+            return;
+        }
+        let way = P::victim(&self.stamps[base..base + occ], self.set_evictions[set], set);
+        self.set_evictions[set] += 1;
+        self.evictions += 1;
+        let evicted_tag = self.tags[base + way];
+        let evicted_meta = self.meta[base + way].replace(meta);
+        self.tags[base + way] = tag;
+        self.stamps[base + way] = self.clock;
+        if let Some(evicted_meta) = evicted_meta {
+            sink.evicted(index, set, evicted_tag, evicted_meta);
+        }
+    }
+
+    /// Replays one same-set run of a bucketed block.
+    ///
+    /// Bucketing makes every set's events contiguous, so the whole
+    /// run works against one row: the row slices are borrowed once,
+    /// and the clock, occupancy, and hit/eviction counters live in
+    /// locals until a single write-back — per event the loop touches
+    /// only the row, the run's `(index, tag)` pair, and the sink,
+    /// instead of re-loading kernel fields through `&mut self`.
+    fn block_run<P: BlockPolicy, S: BlockSink<M>>(
+        &mut self,
+        set: usize,
+        indices: &[u32],
+        run_tags: &[u64],
+        sink: &mut S,
+    ) {
+        let base = set * self.assoc;
+        let row_tags = &mut self.tags[base..base + self.assoc];
+        let row_stamps = &mut self.stamps[base..base + self.assoc];
+        let row_meta = &mut self.meta[base..base + self.assoc];
+        let start_occ = self.occ[set] as usize;
+        let mut occ = start_occ;
+        let mut clock = self.clock;
+        let mut set_evictions = self.set_evictions[set];
+        let mut hits = 0u64;
+        let mut evictions = 0u64;
+        for (&index, &tag) in indices.iter().zip(run_tags) {
+            let index = index as usize;
+            clock += 1;
+            if let Some(way) = row_tags[..occ].iter().position(|&t| t == tag) {
+                hits += 1;
+                if P::REFRESH_ON_HIT {
+                    row_stamps[way] = clock;
+                }
+                // Total: ways 0..occ hold Some meta by construction.
+                if let Some(meta) = row_meta[way].as_mut() {
+                    sink.hit(index, meta);
+                }
+                continue;
+            }
+            let meta = sink.miss(index, set, tag);
+            clock += 1;
+            if occ < row_tags.len() {
+                row_tags[occ] = tag;
+                row_stamps[occ] = clock;
+                row_meta[occ] = Some(meta);
+                occ += 1;
+                continue;
+            }
+            let way = P::victim(&row_stamps[..occ], set_evictions, set);
+            set_evictions += 1;
+            evictions += 1;
+            let evicted_tag = row_tags[way];
+            let evicted_meta = row_meta[way].replace(meta);
+            row_tags[way] = tag;
+            row_stamps[way] = clock;
+            if let Some(evicted_meta) = evicted_meta {
+                sink.evicted(index, set, evicted_tag, evicted_meta);
+            }
+        }
+        self.clock = clock;
+        self.occ[set] = occ as u32;
+        self.resident += occ - start_occ;
+        self.set_evictions[set] = set_evictions;
+        self.evictions += evictions;
+        self.stats.record_bulk(hits, indices.len() as u64 - hits);
+    }
+}
+
 impl<M> Drop for SetAssocCache<M> {
     fn drop(&mut self) {
         // Hand the flat arrays back to the thread-local pool so the
@@ -390,6 +877,10 @@ impl<M> Drop for SetAssocCache<M> {
         crate::pool::recycle_u64(std::mem::take(&mut self.tags));
         crate::pool::recycle_u64(std::mem::take(&mut self.stamps));
         crate::pool::recycle_u32(std::mem::take(&mut self.occ));
+        crate::pool::recycle_u32(std::mem::take(&mut self.set_evictions));
+        if let Some(scratch) = self.scratch.take() {
+            crate::pool::recycle_u32(scratch.counts);
+        }
     }
 }
 

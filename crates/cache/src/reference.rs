@@ -39,6 +39,9 @@ pub struct RefSetAssocCache<M = ()> {
     stats: CacheStats,
     replacement: Replacement,
     evictions: u64,
+    /// Per-set eviction counts; Random victim choice is seeded from
+    /// the victim set's own counter, mirroring the SoA kernel.
+    set_evictions: Vec<u32>,
 }
 
 impl<M> RefSetAssocCache<M> {
@@ -65,6 +68,7 @@ impl<M> RefSetAssocCache<M> {
             stats: CacheStats::default(),
             replacement,
             evictions: 0,
+            set_evictions: vec![0; geom.num_sets()],
         }
     }
 
@@ -86,7 +90,7 @@ impl<M> RefSetAssocCache<M> {
                 .expect("full set has ways"),
             Replacement::Random => {
                 let mut rng = sim_core::rng::SplitMix64::new(
-                    self.evictions ^ (set_index as u64).rotate_left(32),
+                    u64::from(self.set_evictions[set_index]) ^ (set_index as u64).rotate_left(32),
                 );
                 rng.next_below(ways.len() as u64) as usize
             }
@@ -156,6 +160,7 @@ impl<M> RefSetAssocCache<M> {
         }
         let way = self.victim_way(set_index);
         self.evictions += 1;
+        self.set_evictions[set_index] += 1;
         let victim = &mut self.sets[set_index].ways[way];
         let evicted_tag = victim.tag;
         let evicted_meta = std::mem::replace(&mut victim.meta, meta);

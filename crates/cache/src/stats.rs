@@ -33,6 +33,13 @@ impl CacheStats {
         self.misses += 1;
     }
 
+    /// Records `hits` hits and `misses` misses at once — the block
+    /// replay engine folds a whole same-set run into one update.
+    pub(crate) fn record_bulk(&mut self, hits: u64, misses: u64) {
+        self.hits += hits;
+        self.misses += misses;
+    }
+
     /// Number of hits.
     #[must_use]
     pub const fn hits(&self) -> u64 {

@@ -38,7 +38,9 @@ use sim_core::probe;
 use sim_core::stats::Ratio;
 use sim_core::LineAddr;
 
-use crate::{ClassifyingCache, EvictionClassifier, MissClass, MissClassificationTable, TagBits};
+use crate::{
+    BlockClass, ClassifyingCache, EvictionClassifier, MissClass, MissClassificationTable, TagBits,
+};
 
 /// Accuracy of the MCT over one reference stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,6 +87,12 @@ pub struct AccuracyEvaluator<T = MissClassificationTable> {
     cache: ClassifyingCache<T>,
     oracle: ThreeCClassifier,
     report: AccuracyReport,
+    /// Scratch for [`Self::observe_block`]: per-event oracle conflict
+    /// flags, reused across blocks.
+    oracle_conflict: Vec<bool>,
+    /// Scratch for [`Self::observe_block`]: per-event MCT
+    /// classifications, reused across blocks.
+    classes: Vec<BlockClass>,
 }
 
 impl AccuracyEvaluator {
@@ -109,6 +117,8 @@ impl<T: EvictionClassifier> AccuracyEvaluator<T> {
             cache: ClassifyingCache::with_classifier(geom, table),
             oracle,
             report: AccuracyReport::default(),
+            oracle_conflict: Vec::new(),
+            classes: Vec::new(),
         }
     }
 
@@ -143,6 +153,71 @@ impl<T: EvictionClassifier> AccuracyEvaluator<T> {
         } else {
             self.report.capacity.record(agree);
         }
+    }
+
+    /// Observes a block of decomposed references
+    /// ([`Self::observe_parts`] in bulk — the block replay path).
+    ///
+    /// The three-C oracle is *globally* order-sensitive (its shadow
+    /// fully-associative cache sees every reference), so it runs
+    /// first, sequentially in trace order, into a scratch flag array.
+    /// The MCT cache then replays the same block set-bucketed
+    /// ([`ClassifyingCache::access_parts_block`]) — its state is
+    /// disjoint from the oracle's — and the two outcome arrays are
+    /// merged index by index, which reproduces the per-event report
+    /// exactly.
+    ///
+    /// With a probe sink armed the whole block falls back to
+    /// per-event [`Self::observe_parts`], so the emitted event stream
+    /// (`Access`, `Classify`, `ConflictBit`, `Oracle` interleaved per
+    /// event) is byte-identical to unbatched replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or a set index is out of
+    /// range for the geometry.
+    pub fn observe_block(&mut self, sets: &[u32], tags: &[u64]) {
+        if probe::active() {
+            for (&set, &tag) in sets.iter().zip(tags) {
+                self.observe_parts(set as usize, tag);
+            }
+            return;
+        }
+        let geom = *self.cache.geometry();
+        self.report.accesses += sets.len() as u64;
+        self.oracle_conflict.clear();
+        for (&set, &tag) in sets.iter().zip(tags) {
+            let line = geom.line_from_parts(tag, set as usize);
+            self.oracle_conflict
+                .push(self.oracle.observe(line).is_conflict());
+        }
+        self.classes.clear();
+        self.classes.resize(sets.len(), BlockClass::Hit);
+        // The scratch vectors are disjoint fields, but the borrow
+        // checker cannot split them through `self`; move `classes`
+        // out for the duration of the cache pass.
+        let mut classes = std::mem::take(&mut self.classes);
+        self.cache.access_parts_block(sets, tags, &mut classes);
+        for (&oracle_conflict, &class) in self.oracle_conflict.iter().zip(&classes) {
+            if class == BlockClass::Hit {
+                continue;
+            }
+            self.report.misses += 1;
+            let agree = if oracle_conflict {
+                class == BlockClass::Conflict
+            } else {
+                class == BlockClass::Capacity
+            };
+            // No Oracle probe events here: this path runs only with
+            // probes disarmed (armed replay took the per-event branch
+            // above), where emit would be a no-op anyway.
+            if oracle_conflict {
+                self.report.conflict.record(agree);
+            } else {
+                self.report.capacity.record(agree);
+            }
+        }
+        self.classes = classes;
     }
 
     /// Observes a whole stream.

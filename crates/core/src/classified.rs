@@ -1,11 +1,65 @@
 //! A set-associative cache with an attached Miss Classification Table
 //! and per-line conflict bits.
 
-use cache_model::{CacheGeometry, CacheStats, SetAssocCache};
+use cache_model::{BlockSink, CacheGeometry, CacheStats, SetAssocCache};
 use sim_core::probe;
 use sim_core::LineAddr;
 
 use crate::{ConflictFilter, EvictionClassifier, MissClass, MissClassificationTable, TagBits};
+
+/// The classification of one event in a block replay
+/// ([`ClassifyingCache::access_parts_block`]).
+///
+/// The compressed form of [`AccessOutcome`] the block path scatters
+/// into a plain outcome array: bulk consumers need only the
+/// hit/conflict/capacity split, not the per-miss eviction detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockClass {
+    /// The line was resident.
+    #[default]
+    Hit,
+    /// The miss was classified as a conflict miss.
+    Conflict,
+    /// The miss was classified as a capacity (or compulsory) miss.
+    Capacity,
+}
+
+/// The block sink that runs the MCT protocol per event: classify
+/// **before** the fill, carry the conflict bit as line metadata,
+/// record the eviction.
+struct MctSink<'a, T> {
+    table: &'a mut T,
+    conflict_misses: &'a mut u64,
+    capacity_misses: &'a mut u64,
+    out: &'a mut [BlockClass],
+}
+
+impl<T: EvictionClassifier> BlockSink<bool> for MctSink<'_, T> {
+    #[inline]
+    fn hit(&mut self, index: usize, _conflict_bit: &mut bool) {
+        self.out[index] = BlockClass::Hit;
+    }
+
+    #[inline]
+    fn miss(&mut self, index: usize, set: usize, tag: u64) -> bool {
+        let class = self.table.classify(set, tag);
+        match class {
+            MissClass::Conflict => *self.conflict_misses += 1,
+            MissClass::Capacity => *self.capacity_misses += 1,
+        }
+        self.out[index] = if class.is_conflict() {
+            BlockClass::Conflict
+        } else {
+            BlockClass::Capacity
+        };
+        class.is_conflict()
+    }
+
+    #[inline]
+    fn evicted(&mut self, _index: usize, set: usize, evicted_tag: u64, _conflict_bit: bool) {
+        self.table.record_eviction(set, evicted_tag);
+    }
+}
 
 /// The line displaced by a fill, together with its conflict bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,6 +234,49 @@ impl<T: EvictionClassifier> ClassifyingCache<T> {
         }
         let evicted = self.fill_parts(set, tag, class.is_conflict());
         AccessOutcome::Miss(MissDetail { class, evicted })
+    }
+
+    /// Replays a block of decomposed accesses, scattering each
+    /// event's classification into `out`.
+    ///
+    /// Equivalent to calling [`Self::access_parts`] per event and
+    /// recording `Hit`/`Conflict`/`Capacity`, but the underlying
+    /// kernel replays the block as same-set runs — bucketed by set
+    /// index on large geometries
+    /// ([`SetAssocCache::access_block_with`]) so consecutive probes
+    /// stay on resident rows. The MCT protocol is unchanged: each
+    /// miss is classified against pre-fill state and each eviction is
+    /// recorded — both are per-set operations, so set-bucketed order
+    /// cannot change any classification.
+    ///
+    /// With a probe sink armed the whole block falls back to
+    /// per-event [`Self::access_parts`], keeping the emitted event
+    /// stream byte-identical to unbatched replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or a set index is out of
+    /// range for the geometry.
+    pub fn access_parts_block(&mut self, sets: &[u32], tags: &[u64], out: &mut [BlockClass]) {
+        if probe::active() {
+            for (i, (&set, &tag)) in sets.iter().zip(tags).enumerate() {
+                out[i] = match self.access_parts(set as usize, tag) {
+                    AccessOutcome::Hit { .. } => BlockClass::Hit,
+                    AccessOutcome::Miss(detail) if detail.class.is_conflict() => {
+                        BlockClass::Conflict
+                    }
+                    AccessOutcome::Miss(_) => BlockClass::Capacity,
+                };
+            }
+            return;
+        }
+        let mut sink = MctSink {
+            table: &mut self.table,
+            conflict_misses: &mut self.conflict_misses,
+            capacity_misses: &mut self.capacity_misses,
+            out,
+        };
+        self.cache.access_block_with(sets, tags, &mut sink);
     }
 
     /// Classifies a miss on `line` without changing any state.

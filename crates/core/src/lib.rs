@@ -58,7 +58,7 @@ mod shadow;
 mod table;
 
 pub use biased::BiasedCache;
-pub use classified::{AccessOutcome, ClassifyingCache, EvictedLine, MissDetail};
+pub use classified::{AccessOutcome, BlockClass, ClassifyingCache, EvictedLine, MissDetail};
 pub use classifier::EvictionClassifier;
 pub use filter::{ConflictFilter, MissClass};
 pub use shadow::ShadowDirectory;

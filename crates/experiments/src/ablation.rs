@@ -89,7 +89,7 @@ fn depth_sweep(events: usize) -> Vec<DepthPoint> {
                     let mut eval = AccuracyEvaluator::with_classifier(geom, dir);
                     let trace = crate::decomposed_for(&w, &geom, events);
                     crate::telemetry::record_events(events as u64);
-                    trace.for_each(|set, tag| eval.observe_parts(set, tag));
+                    crate::replay_accuracy(&trace, &mut eval);
                     eval.finish()
                 },
             );

@@ -59,7 +59,7 @@ fn evaluate(workload: &Workload, geom: CacheGeometry, events: usize) -> Accuracy
     let mut eval = AccuracyEvaluator::new(geom, TagBits::Full);
     let trace = crate::decomposed_for(workload, &geom, events);
     crate::telemetry::record_events(events as u64);
-    trace.for_each(|set, tag| eval.observe_parts(set, tag));
+    crate::replay_accuracy(&trace, &mut eval);
     eval.finish()
 }
 

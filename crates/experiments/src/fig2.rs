@@ -58,7 +58,7 @@ pub fn run(events: usize) -> Fig2 {
                     let mut eval = AccuracyEvaluator::new(geom, bits);
                     let trace = crate::decomposed_for(&w, &geom, events);
                     crate::telemetry::record_events(events as u64);
-                    trace.for_each(|set, tag| eval.observe_parts(set, tag));
+                    crate::replay_accuracy(&trace, &mut eval);
                     eval.finish()
                 },
             );

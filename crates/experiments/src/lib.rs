@@ -65,6 +65,7 @@ pub mod telemetry;
 
 pub use table::Table;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use cache_model::CacheGeometry;
@@ -74,6 +75,47 @@ use trace_gen::TraceEvent;
 
 /// Default events per workload for full experiment runs.
 pub const DEFAULT_EVENTS: usize = 300_000;
+
+/// Default event-block size for decomposed replay, picked by the
+/// `substrate/cache_kernel` block-size sweep (EXPERIMENTS.md, "Cache
+/// kernel round two"): large enough to amortize bucketing, small
+/// enough that a block's `(set, tag)` pairs and the bucketing scratch
+/// stay L1/L2-resident alongside the kernel arrays.
+pub const DEFAULT_REPLAY_BLOCK: usize = 1024;
+
+/// The process-wide replay block size (`repro --block-size`).
+static REPLAY_BLOCK: AtomicUsize = AtomicUsize::new(DEFAULT_REPLAY_BLOCK);
+
+/// Sets the event-block size used by [`replay_accuracy`]. A size of 1
+/// selects the legacy per-event path; zero is clamped to 1.
+pub fn set_replay_block_size(block: usize) {
+    REPLAY_BLOCK.store(block.max(1), Ordering::Relaxed);
+}
+
+/// The event-block size [`replay_accuracy`] currently uses.
+#[must_use]
+pub fn replay_block_size() -> usize {
+    REPLAY_BLOCK.load(Ordering::Relaxed)
+}
+
+/// The shared replay loop of the accuracy drivers (fig1, fig2, the
+/// shadow-depth ablation): streams a decomposed trace through an
+/// [`mct::accuracy::AccuracyEvaluator`] in event blocks of
+/// [`replay_block_size`] pairs, falling back to the per-event loop at
+/// block size 1. Results are identical at every block size (the block
+/// kernel is differential-tested against per-event replay); the block
+/// path exists purely for throughput.
+pub fn replay_accuracy<T: mct::EvictionClassifier>(
+    trace: &DecomposedTrace,
+    eval: &mut mct::accuracy::AccuracyEvaluator<T>,
+) {
+    let block = replay_block_size();
+    if block <= 1 {
+        trace.for_each(|set, tag| eval.observe_parts(set, tag));
+    } else {
+        trace.for_each_block(block, |sets, tags| eval.observe_block(sets, tags));
+    }
+}
 
 /// The seed all experiments use (workload identity is mixed in by the
 /// workloads crate).

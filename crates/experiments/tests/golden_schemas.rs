@@ -177,7 +177,7 @@ fn lint_repro_1_jsonl_is_stable() {
         files_scanned: 101,
     };
     let expected = concat!(
-        "{\"schema\":\"lint-repro/1\",\"rules\":[\"default-hasher\",\"hot-path-panic\",\"probe-guard\",\"unseeded-rng\",\"waiver\",\"wallclock\"],\"files_scanned\":101}\n",
+        "{\"schema\":\"lint-repro/1\",\"rules\":[\"bench-prefix\",\"default-hasher\",\"hot-path-panic\",\"probe-guard\",\"unseeded-rng\",\"waiver\",\"wallclock\"],\"files_scanned\":101}\n",
         "{\"type\":\"finding\",\"rule\":\"wallclock\",\"file\":\"crates/cpu/src/baseline.rs\",\"line\":7,\"message\":\"wall-clock access with an \\\"odd\\\\quote\\\"\"}\n",
         "{\"type\":\"summary\",\"findings\":1,\"waived\":1,\"files_scanned\":101}\n",
     );

@@ -22,6 +22,11 @@ pub struct Scrubbed {
     /// Every comment's text, with the line it *starts* on. Block
     /// comments spanning lines appear once, newlines preserved.
     pub comments: Vec<(usize, String)>,
+    /// Every string literal's text (escapes left as written), with the
+    /// line it *starts* on. Rules that need to see inside a literal —
+    /// e.g. `bench-prefix` checking criterion group names — read these
+    /// instead of the blanked code lines.
+    pub strings: Vec<(usize, String)>,
 }
 
 /// Lexer state while walking the source.
@@ -44,6 +49,9 @@ pub fn scrub(source: &str) -> Scrubbed {
     let mut comments = Vec::new();
     let mut comment_text = String::new();
     let mut comment_line = 0usize;
+    let mut strings = Vec::new();
+    let mut string_text = String::new();
+    let mut string_line = 0usize;
     let mut line = 1usize;
     let mut state = State::Code;
     let mut i = 0usize;
@@ -74,6 +82,8 @@ pub fn scrub(source: &str) -> Scrubbed {
                 }
                 '"' => {
                     state = State::Str;
+                    string_line = line;
+                    string_text.clear();
                     out.push('"');
                     i += 1;
                 }
@@ -90,6 +100,8 @@ pub fn scrub(source: &str) -> Scrubbed {
                         } else {
                             State::Str
                         };
+                        string_line = line;
+                        string_text.clear();
                         i += consumed + 1;
                     } else {
                         out.push(c);
@@ -169,6 +181,10 @@ pub fn scrub(source: &str) -> Scrubbed {
             }
             State::Str => match c {
                 '\\' => {
+                    string_text.push('\\');
+                    if let Some(n) = next {
+                        string_text.push(n);
+                    }
                     out.push_str("  ");
                     i += 2;
                     if next == Some('\n') {
@@ -181,22 +197,26 @@ pub fn scrub(source: &str) -> Scrubbed {
                     }
                 }
                 '"' => {
+                    strings.push((string_line, std::mem::take(&mut string_text)));
                     state = State::Code;
                     out.push('"');
                     i += 1;
                 }
                 '\n' => {
+                    string_text.push('\n');
                     flush_line(&mut out, &mut lines);
                     line += 1;
                     i += 1;
                 }
                 _ => {
+                    string_text.push(c);
                     out.push(' ');
                     i += 1;
                 }
             },
             State::RawStr(hashes) => {
                 if c == '"' && closes_raw(&chars, i, hashes) {
+                    strings.push((string_line, std::mem::take(&mut string_text)));
                     out.push('"');
                     for _ in 0..hashes {
                         out.push(' ');
@@ -204,10 +224,12 @@ pub fn scrub(source: &str) -> Scrubbed {
                     state = State::Code;
                     i += 1 + hashes as usize;
                 } else if c == '\n' {
+                    string_text.push('\n');
                     flush_line(&mut out, &mut lines);
                     line += 1;
                     i += 1;
                 } else {
+                    string_text.push(c);
                     out.push(' ');
                     i += 1;
                 }
@@ -218,10 +240,17 @@ pub fn scrub(source: &str) -> Scrubbed {
         State::LineComment | State::BlockComment(_) => {
             comments.push((comment_line, comment_text));
         }
-        _ => {}
+        State::Str | State::RawStr(_) => {
+            strings.push((string_line, string_text));
+        }
+        State::Code => {}
     }
     lines.push(out);
-    Scrubbed { lines, comments }
+    Scrubbed {
+        lines,
+        comments,
+        strings,
+    }
 }
 
 /// Whether `chars[i]`'s predecessor is an identifier character (so a
@@ -328,6 +357,14 @@ mod tests {
         let s = scrub("let s = \"a\nb\nc\";\nlet t = 1;");
         assert_eq!(s.lines.len(), 4);
         assert!(s.lines[3].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn string_literals_are_captured_with_lines() {
+        let s = scrub("let a = \"kernel_fill\";\nlet b = r#\"raw \" text\"#;");
+        assert_eq!(s.strings.len(), 2);
+        assert_eq!(s.strings[0], (1, "kernel_fill".to_owned()));
+        assert_eq!(s.strings[1], (2, "raw \" text".to_owned()));
     }
 
     #[test]

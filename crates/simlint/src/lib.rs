@@ -196,6 +196,7 @@ pub fn lint_source(path: &str, source: &str) -> (Vec<Finding>, usize) {
         path,
         lines: &scrubbed.lines,
         test_mask: &mask,
+        strings: &scrubbed.strings,
     };
     let mut findings = rules::check_file(&ctx);
 

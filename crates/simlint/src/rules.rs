@@ -21,6 +21,10 @@ pub struct FileCtx<'a> {
     /// (`#[cfg(test)]` / `#[test]` items, or a test/bench/example
     /// file).
     pub test_mask: &'a [bool],
+    /// Every string literal's text with the 1-based line it starts on
+    /// (see [`crate::lexer::Scrubbed::strings`]), for rules that
+    /// inspect literal contents.
+    pub strings: &'a [(usize, String)],
 }
 
 impl FileCtx<'_> {
@@ -30,7 +34,8 @@ impl FileCtx<'_> {
 }
 
 /// Every rule name, in the order diagnostics list them.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 7] = [
+    "bench-prefix",
     "default-hasher",
     "hot-path-panic",
     "probe-guard",
@@ -54,6 +59,7 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
     hot_path_panic(ctx, &mut findings);
     probe_guard(ctx, &mut findings);
     unseeded_rng(ctx, &mut findings);
+    bench_prefix(ctx, &mut findings);
     findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
     findings
 }
@@ -270,6 +276,56 @@ fn unseeded_rng(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Layer prefixes a criterion benchmark group name may carry, from
+/// ROADMAP item 5: the prefix names the layer a group exercises, so
+/// bench reports and CI deltas stay navigable as groups accumulate.
+const BENCH_GROUP_PREFIXES: [&str; 6] = [
+    "kernel_",
+    "trace_",
+    "probe_",
+    "sched_",
+    "figure_",
+    "substrate/",
+];
+
+/// `bench-prefix`: every criterion `benchmark_group` in bench code is
+/// named by a string literal carrying a registered layer prefix.
+/// Bench files are whole-file test context, so this rule deliberately
+/// reads every line instead of consulting the test mask.
+fn bench_prefix(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !ctx.path.contains("/benches/") {
+        return;
+    }
+    for (i, line) in ctx.lines.iter().enumerate() {
+        if !has_ident(line, "benchmark_group") {
+            continue;
+        }
+        // The group name is the first string literal starting on the
+        // call line, or the next when the argument wraps.
+        let name = ctx
+            .strings
+            .iter()
+            .find(|(l, _)| *l == i + 1 || *l == i + 2)
+            .map(|(_, s)| s.as_str());
+        let registered =
+            name.is_some_and(|n| BENCH_GROUP_PREFIXES.iter().any(|p| n.starts_with(p)));
+        if registered {
+            continue;
+        }
+        let message = match name {
+            Some(n) => format!(
+                "criterion group name \"{n}\" lacks a registered layer prefix \
+                 (kernel_/trace_/probe_/sched_/figure_/substrate/)"
+            ),
+            None => "criterion group name is not a string literal on the call line; \
+                     name groups with a literal carrying a registered layer prefix \
+                     (kernel_/trace_/probe_/sched_/figure_/substrate/)"
+                .to_owned(),
+        };
+        findings.push(Finding::new("bench-prefix", ctx.path, i + 1, message));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +337,7 @@ mod tests {
             path,
             lines: &scrubbed.lines,
             test_mask: &mask,
+            strings: &scrubbed.strings,
         })
     }
 
@@ -332,6 +389,38 @@ mod tests {
     fn rng_rule_applies_even_in_tests() {
         let src = "#[cfg(test)]\nmod tests {\n    fn f() { let r = thread_rng(); }\n}";
         assert_eq!(ctx_findings("crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn bench_prefix_requires_registered_layer() {
+        let ok = "let mut g = c.benchmark_group(\"substrate/cache_kernel\");";
+        assert!(ctx_findings("crates/bench/benches/substrate.rs", ok).is_empty());
+        let figure = "let mut g = c.benchmark_group(\"figure_drivers\");";
+        assert!(ctx_findings("crates/bench/benches/figures.rs", figure).is_empty());
+        let bad = "let mut g = c.benchmark_group(\"misc\");";
+        assert_eq!(
+            ctx_findings("crates/bench/benches/substrate.rs", bad).len(),
+            1
+        );
+        // A computed name cannot be checked and is flagged too.
+        let dynamic = "let mut g = c.benchmark_group(&name);";
+        assert_eq!(
+            ctx_findings("crates/bench/benches/substrate.rs", dynamic).len(),
+            1
+        );
+        // Out of scope outside bench files.
+        assert!(ctx_findings("crates/bench/src/lib.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn bench_prefix_reads_wrapped_arguments() {
+        let wrapped = "let mut g = c.benchmark_group(\n    \"substrate/pipeline\",\n);";
+        assert!(ctx_findings("crates/bench/benches/substrate.rs", wrapped).is_empty());
+        let wrapped_bad = "let mut g = c.benchmark_group(\n    \"misc\",\n);";
+        assert_eq!(
+            ctx_findings("crates/bench/benches/substrate.rs", wrapped_bad).len(),
+            1
+        );
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! Known-bad fixture: criterion groups without a registered layer
+//! prefix. Linted as `crates/bench/benches/micro.rs`.
+
+pub fn register(c: &mut criterion::Criterion) {
+    let mut g = c.benchmark_group("micro");
+    g.bench_function("noop", |b| b.iter(|| 0u32));
+    g.finish();
+    let name = String::from("dynamic");
+    let mut h = c.benchmark_group(&name);
+    h.finish();
+}

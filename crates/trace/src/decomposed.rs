@@ -138,6 +138,21 @@ impl DecomposedTrace {
         }
     }
 
+    /// Streams the parallel `sets`/`tags` arrays through `f` in
+    /// fixed-size blocks of `block` pairs (the final block may be
+    /// shorter). This is the batched counterpart of
+    /// [`Self::for_each`], feeding the kernel's `access_block` entry
+    /// points; a `block` of zero is treated as one whole-trace block.
+    pub fn for_each_block(&self, block: usize, mut f: impl FnMut(&[u32], &[u64])) {
+        if self.sets.is_empty() {
+            return;
+        }
+        let block = if block == 0 { self.sets.len() } else { block };
+        for (sets, tags) in self.sets.chunks(block).zip(self.tags.chunks(block)) {
+            f(sets, tags);
+        }
+    }
+
     /// Iterates `(set, tag)` pairs in trace order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
         self.sets.iter().copied().zip(self.tags.iter().copied())
@@ -297,6 +312,23 @@ mod tests {
         d.for_each(|set, tag| seen.push((set as u32, tag)));
         assert_eq!(seen.len(), d.len());
         assert_eq!(seen, d.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_block_matches_for_each_including_torn_tail() {
+        let events = sweep_events(REPLAY_CHUNK + 37);
+        let d = DecomposedTrace::decompose(&events, 64, 4);
+        let mut whole = Vec::new();
+        d.for_each(|set, tag| whole.push((set as u32, tag)));
+        for block in [1usize, 7, 64, 1000, d.len(), d.len() + 5, 0] {
+            let mut seen = Vec::new();
+            d.for_each_block(block, |sets, tags| {
+                assert_eq!(sets.len(), tags.len());
+                assert!(!sets.is_empty());
+                seen.extend(sets.iter().copied().zip(tags.iter().copied()));
+            });
+            assert_eq!(seen, whole, "block size {block}");
+        }
     }
 
     #[test]
