@@ -93,6 +93,52 @@ fn bench_probe_null(c: &mut Criterion) {
     g.finish();
 }
 
+/// The zero-overhead claim behind `sim_core::span`, mirroring
+/// `bench_probe_null`: the same MCT-classification loop instrumented
+/// the way the experiment drivers are — a cell scope around the run
+/// and a `replay_block` span per 1024-element chunk — once with the
+/// span layer disarmed (the shipping default: one relaxed atomic load
+/// per site) and once armed in discard mode under a zero clock (every
+/// scope installed, every span opened/closed and dropped at flush).
+/// `span_disarmed` should match `mct_classifying_cache` within noise;
+/// the `span_null` gap is the price of *armed* tracing, paid only when
+/// `--trace-out` is requested.
+fn bench_span_null(c: &mut Criterion) {
+    let refs = lines(N);
+    let run = |refs: &[sim_core::LineAddr]| {
+        sim_core::span::scope(
+            sim_core::span::ScopeKind::Cell,
+            "cell_run",
+            "bench",
+            String::new,
+            || {
+                let geom = CacheGeometry::new(16 * 1024, 1, 64).unwrap();
+                let mut cache = ClassifyingCache::new(geom, TagBits::Full);
+                for chunk in refs.chunks(1024) {
+                    let _span = sim_core::span::enter("replay_block");
+                    sim_core::span::add_events(chunk.len() as u64);
+                    for &line in chunk {
+                        black_box(cache.access(line));
+                    }
+                }
+                black_box(cache.class_counts())
+            },
+        )
+    };
+    let mut g = c.benchmark_group("substrate/pipeline");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("span_disarmed", |b| b.iter(|| run(&refs)));
+    g.bench_function("span_null", |b| {
+        fn zero_clock() -> u64 {
+            0
+        }
+        sim_core::span::arm_discard(zero_clock);
+        b.iter(|| run(&refs));
+        let _ = sim_core::span::disarm();
+    });
+    g.finish();
+}
+
 fn bench_oracle(c: &mut Criterion) {
     let refs = lines(N);
     let mut g = c.benchmark_group("substrate/pipeline");
@@ -258,6 +304,6 @@ fn bench_full_pipeline(c: &mut Criterion) {
 criterion_group! {
     name = substrate;
     config = Criterion::default().sample_size(10);
-    targets = bench_plain_cache, bench_classifying_cache, bench_probe_null, bench_oracle, bench_trace_supply, bench_cache_kernel, bench_full_pipeline,
+    targets = bench_plain_cache, bench_classifying_cache, bench_probe_null, bench_span_null, bench_oracle, bench_trace_supply, bench_cache_kernel, bench_full_pipeline,
 }
 criterion_main!(substrate);

@@ -39,7 +39,7 @@ mod geometry;
 mod hierarchy;
 mod mshr;
 pub mod oracle;
-mod pool;
+pub mod pool;
 pub mod reference;
 mod stats;
 

@@ -18,6 +18,7 @@
 //! threads that own them.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use sim_core::hash::FxHashMap;
 
@@ -25,6 +26,36 @@ use sim_core::hash::FxHashMap;
 /// handful of live caches an experiment cell juggles, small enough
 /// that odd sizes cannot accumulate unbounded memory.
 const MAX_PER_LEN: usize = 16;
+
+// Process-wide traffic counters (the pools themselves stay
+// thread-local and lock-free; one relaxed increment per take/recycle
+// is noise next to the allocation it replaces). Surfaced in the
+// `trace-repro/1` runtime-metrics record.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static REUSES: AtomicU64 = AtomicU64::new(0);
+static RECYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide pool traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests that fell through to a fresh heap allocation.
+    pub allocs: u64,
+    /// Requests served by recycling a pooled buffer.
+    pub reuses: u64,
+    /// Buffers returned to a pool on drop (bounded; overflow past
+    /// [`MAX_PER_LEN`] per length is freed, not counted).
+    pub recycles: u64,
+}
+
+/// Snapshot of the process-wide pool counters.
+#[must_use]
+pub fn stats() -> PoolStats {
+    PoolStats {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        reuses: REUSES.load(Ordering::Relaxed),
+        recycles: RECYCLES.load(Ordering::Relaxed),
+    }
+}
 
 thread_local! {
     static U64_POOL: RefCell<FxHashMap<usize, Vec<Box<[u64]>>>> =
@@ -37,19 +68,30 @@ thread_local! {
 /// their previous contents; fresh ones are zeroed. Callers must not
 /// read elements they have not written.
 pub(crate) fn take_u64(len: usize) -> Box<[u64]> {
-    U64_POOL
-        .with_borrow_mut(|pool| pool.get_mut(&len).and_then(Vec::pop))
-        .unwrap_or_else(|| vec![0; len].into_boxed_slice())
+    match U64_POOL.with_borrow_mut(|pool| pool.get_mut(&len).and_then(Vec::pop)) {
+        Some(buf) => {
+            REUSES.fetch_add(1, Ordering::Relaxed);
+            buf
+        }
+        None => {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            vec![0; len].into_boxed_slice()
+        }
+    }
 }
 
 /// A zeroed `u32` buffer of exactly `len` elements.
 pub(crate) fn take_u32_zeroed(len: usize) -> Box<[u32]> {
     match U32_POOL.with_borrow_mut(|pool| pool.get_mut(&len).and_then(Vec::pop)) {
         Some(mut buf) => {
+            REUSES.fetch_add(1, Ordering::Relaxed);
             buf.fill(0);
             buf
         }
-        None => vec![0; len].into_boxed_slice(),
+        None => {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            vec![0; len].into_boxed_slice()
+        }
     }
 }
 
@@ -62,6 +104,7 @@ pub(crate) fn recycle_u64(buf: Box<[u64]>) {
         let slot = pool.entry(buf.len()).or_default();
         if slot.len() < MAX_PER_LEN {
             slot.push(buf);
+            RECYCLES.fetch_add(1, Ordering::Relaxed);
         }
     });
 }
@@ -75,6 +118,7 @@ pub(crate) fn recycle_u32(buf: Box<[u32]>) {
         let slot = pool.entry(buf.len()).or_default();
         if slot.len() < MAX_PER_LEN {
             slot.push(buf);
+            RECYCLES.fetch_add(1, Ordering::Relaxed);
         }
     });
 }

@@ -1,40 +1,55 @@
-//! Inspect `obs-repro/1` probe files written by `repro --probe`.
+//! Inspect `obs-repro/1` probe files and `trace-repro/1` span traces
+//! written by `repro`.
 //!
 //! ```text
 //! obs summarize FILE [--cell SUBSTR] [--top K]
+//! obs timeline FILE
+//! obs flame FILE
+//! obs phases FILE
+//! obs verify-trace FILE
+//! obs diff OLD.json NEW.json
 //! ```
 //!
-//! Renders per-cell miss/conflict/accuracy summaries, the hottest
-//! conflict sets, and (with `--cell`) the full epoch table of every
-//! matching cell. All logic lives in [`experiments::obs`]; this binary
-//! only parses arguments and does I/O.
+//! `summarize` renders per-cell miss/conflict/accuracy summaries for a
+//! probe file. `timeline`, `flame`, and `phases` render per-worker
+//! lanes, folded flamegraph stacks, and a per-phase time/throughput
+//! table for a span trace; `verify-trace` checks a trace's structural
+//! invariants. `diff` compares two `bench-repro` throughput files. All
+//! logic lives in [`experiments::obs`] and [`experiments::traceview`];
+//! this binary only parses arguments and does I/O.
 
 use std::env;
 use std::process::ExitCode;
 
 use experiments::obs::{summarize, SummarizeOptions};
+use experiments::traceview;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: obs summarize FILE [--cell SUBSTR] [--top K]\n\
+        "usage: obs COMMAND FILE...\n\
          \n\
-         summarize        render epoch/cell/hot-set tables for a probe file\n\
-         --cell SUBSTR    also print the per-epoch table of cells whose\n\
-         \u{20}               target/cell name contains SUBSTR\n\
-         --top K          rows in the hottest-sets section (default 10)\n\
+         summarize FILE   render epoch/cell/hot-set tables for a probe file\n\
+         \u{20}  --cell SUBSTR  also print the per-epoch table of cells whose\n\
+         \u{20}                 target/cell name contains SUBSTR\n\
+         \u{20}  --top K        rows in the hottest-sets section (default 10)\n\
+         timeline FILE    per-worker busy lanes + utilization for a span trace\n\
+         flame FILE       folded stacks (flamegraph.pl / speedscope input)\n\
+         phases FILE      total/self time, call count, events/s per phase\n\
+         verify-trace FILE  check a span trace's structural invariants\n\
+         diff OLD NEW     per-figure events/s delta between two bench files\n\
          \n\
-         Probe files are written by `repro --probe epoch:N --probe-out FILE`."
+         Probe files come from `repro --probe epoch:N --probe-out FILE`;\n\
+         span traces from `repro --trace-out FILE`; bench files are the\n\
+         BENCH_repro.json reports `repro` writes after every sweep."
     );
     ExitCode::FAILURE
 }
 
-fn run(args: Vec<String>) -> Result<String, String> {
-    let mut args = args.into_iter();
-    match args.next().as_deref() {
-        Some("summarize") => {}
-        Some(other) => return Err(format!("unknown command: {other}")),
-        None => return Err("missing command".to_owned()),
-    }
+fn read(file: &str) -> Result<String, String> {
+    std::fs::read_to_string(file).map_err(|err| format!("cannot read {file}: {err}"))
+}
+
+fn summarize_cmd(mut args: std::vec::IntoIter<String>) -> Result<String, String> {
     let mut file = None;
     let mut opts = SummarizeOptions::default();
     while let Some(arg) = args.next() {
@@ -55,9 +70,45 @@ fn run(args: Vec<String>) -> Result<String, String> {
         }
     }
     let file = file.ok_or("missing probe file argument")?;
-    let text =
-        std::fs::read_to_string(&file).map_err(|err| format!("cannot read {file}: {err}"))?;
-    summarize(&text, &opts)
+    summarize(&read(&file)?, &opts)
+}
+
+fn one_file(
+    mut args: std::vec::IntoIter<String>,
+    what: &str,
+    f: impl FnOnce(&str) -> Result<String, String>,
+) -> Result<String, String> {
+    let file = args
+        .next()
+        .ok_or_else(|| format!("missing {what} argument"))?;
+    if let Some(extra) = args.next() {
+        return Err(format!("unexpected argument: {extra}"));
+    }
+    f(&read(&file)?)
+}
+
+fn diff_cmd(mut args: std::vec::IntoIter<String>) -> Result<String, String> {
+    let old = args.next().ok_or("diff needs OLD and NEW bench files")?;
+    let new = args.next().ok_or("diff needs OLD and NEW bench files")?;
+    if let Some(extra) = args.next() {
+        return Err(format!("unexpected argument: {extra}"));
+    }
+    traceview::diff(&read(&old)?, &read(&new)?)
+}
+
+fn run(args: Vec<String>) -> Result<String, String> {
+    let mut args = args.into_iter();
+    match args.next().as_deref() {
+        Some("summarize") => summarize_cmd(args),
+        Some("timeline") => one_file(args, "trace file", traceview::timeline),
+        Some("flame") => one_file(args, "trace file", traceview::flame),
+        Some("phases") => one_file(args, "trace file", traceview::phases),
+        Some("verify-trace") => one_file(args, "trace file", traceview::verify),
+        Some("diff") => diff_cmd(args),
+        Some("--help" | "-h") => Err(String::new()),
+        Some(other) => Err(format!("unknown command: {other}")),
+        None => Err("missing command".to_owned()),
+    }
 }
 
 fn main() -> ExitCode {

@@ -4,6 +4,7 @@
 //! ```text
 //! repro [--events N] [--threads N] [--bench-json PATH]
 //!       [--probe epoch:N|raw] [--probe-out PATH]
+//!       [--trace-out PATH [--trace-format jsonl|chrome] [--trace-logical-clock]]
 //!       [--fault SEED:RATE [--fault-persistent]]
 //!       [--checkpoint PATH [--resume] [--crash-after N]] [TARGET ...]
 //! ```
@@ -32,6 +33,7 @@ use experiments::checkpoint::{self, CellEntry, CellStatus, CheckpointWriter};
 use experiments::cli::{self, Target};
 use experiments::ioutil;
 use experiments::telemetry::{BenchReport, FigureBench, Stopwatch};
+use experiments::tracing::{self, MetricsSnapshot, TraceFormat, TraceHeader};
 
 /// Exit code of a `--crash-after` simulated kill (distinct from the
 /// degraded-run failure exit).
@@ -41,6 +43,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--events N] [--threads N] [--bench-json PATH] \
          [--block-size N] [--probe epoch:N|raw] [--probe-out PATH] \
+         [--trace-out PATH] [--trace-format jsonl|chrome] [--trace-logical-clock] \
          [--fault SEED:RATE] [--fault-persistent] \
          [--checkpoint PATH] [--resume] [--crash-after N] \
          [fig1|fig2|fig3|tab1|fig4|fig5|sec54|sec56|fig6|fig7|ablation|all]\n\
@@ -54,6 +57,12 @@ fn usage() -> ExitCode {
          \u{20}                epochs of N accesses) or raw (every event; small runs)\n\
          --probe-out P    probe JSONL path (default OBS_repro.jsonl); inspect\n\
          \u{20}                with `obs summarize P`\n\
+         --trace-out P    write a span trace of the sweep to P; inspect with\n\
+         \u{20}                `obs timeline|flame|phases P`\n\
+         --trace-format F trace output format: jsonl (trace-repro/1, default)\n\
+         \u{20}                or chrome (chrome://tracing / Perfetto JSON)\n\
+         --trace-logical-clock  zero durations so the trace is byte-identical\n\
+         \u{20}                at any --threads (determinism tests)\n\
          --fault S:R      inject seeded faults: seed S, rate R in [0,1]\n\
          --fault-persistent  injected faults defeat every retry (degrades cells)\n\
          --checkpoint P   persist completed cells to P as fault-repro/1 JSONL\n\
@@ -93,6 +102,9 @@ fn main() -> ExitCode {
     }
     experiments::probe::configure(opts.probe);
     experiments::set_replay_block_size(opts.block_size);
+    if opts.trace_out.is_some() {
+        tracing::arm(opts.trace_logical_clock);
+    }
     if let Some(spec) = opts.fault {
         sim_core::fault::install(spec.plan());
         sim_core::fault::silence_injected_panics();
@@ -160,36 +172,45 @@ fn main() -> ExitCode {
     let writer_ref = writer.as_ref();
     let crash_after = opts.crash_after;
     let total_start = Stopwatch::start();
-    let outcomes = sim_core::parallel::try_par_map(pending.clone(), |target: Target| {
-        let start = Stopwatch::start();
-        let rendered = target.run(events);
-        let bench = FigureBench::ok(
-            target.name(),
-            start.elapsed_seconds(),
-            target.simulated_events(events),
-        );
-        if let Some(w) = writer_ref {
-            let entry = CellEntry {
-                target: target.name().to_owned(),
-                status: CellStatus::Ok,
-                events: bench.events,
-                rendered: rendered.clone(),
-                message: None,
-            };
-            match w.record(&entry) {
-                Ok(count) => {
-                    if crash_after.is_some_and(|n| count >= n) {
-                        eprintln!("[ckpt] --crash-after {}: simulating a kill", count);
-                        std::process::exit(CRASH_EXIT);
+    let outcomes = sim_core::span::scope(
+        sim_core::span::ScopeKind::Sweep,
+        "sweep_repro",
+        "repro",
+        String::new,
+        || {
+            sim_core::parallel::try_par_map(pending.clone(), |target: Target| {
+                let start = Stopwatch::start();
+                let rendered = target.run(events);
+                let bench = FigureBench::ok(
+                    target.name(),
+                    start.elapsed_seconds(),
+                    target.simulated_events(events),
+                );
+                if let Some(w) = writer_ref {
+                    let entry = CellEntry {
+                        target: target.name().to_owned(),
+                        status: CellStatus::Ok,
+                        events: bench.events,
+                        rendered: rendered.clone(),
+                        message: None,
+                    };
+                    match w.record(&entry) {
+                        Ok(count) => {
+                            if crash_after.is_some_and(|n| count >= n) {
+                                eprintln!("[ckpt] --crash-after {}: simulating a kill", count);
+                                std::process::exit(CRASH_EXIT);
+                            }
+                        }
+                        // The checkpoint is best-effort: losing a line
+                        // costs a re-run on resume, never the current
+                        // sweep.
+                        Err(err) => eprintln!("[ckpt] cannot record {}: {err}", target.name()),
                     }
                 }
-                // The checkpoint is best-effort: losing a line costs a
-                // re-run on resume, never the current sweep.
-                Err(err) => eprintln!("[ckpt] cannot record {}: {err}", target.name()),
-            }
-        }
-        (rendered, bench)
-    });
+                (rendered, bench)
+            })
+        },
+    );
     let total_wall_seconds = total_start.elapsed_seconds();
 
     // Merge fresh, resumed, and degraded cells back into request
@@ -316,6 +337,36 @@ fn main() -> ExitCode {
             "[probe] wrote {} ({cells} cells, mode {})",
             path.display(),
             mode.name()
+        );
+    }
+
+    if let Some(path) = &opts.trace_out {
+        let records = tracing::drain();
+        let header = TraceHeader {
+            logical: opts.trace_logical_clock,
+            events_per_workload: events,
+            targets: target_names.clone(),
+        };
+        let rendered = match opts.trace_format {
+            TraceFormat::Jsonl => {
+                let metrics = MetricsSnapshot::capture(degraded_targets.len() as u64);
+                tracing::render_jsonl(&records, &header, Some(&metrics))
+            }
+            TraceFormat::Chrome => tracing::render_chrome(&records, &header),
+        };
+        if let Err(err) = ioutil::write_with_retry(path, &rendered) {
+            eprintln!("repro: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        let spans: usize = records.iter().map(|r| r.spans.len()).sum();
+        eprintln!(
+            "[trace] wrote {} ({} scopes, {spans} spans, format {})",
+            path.display(),
+            records.len(),
+            match opts.trace_format {
+                TraceFormat::Jsonl => "jsonl",
+                TraceFormat::Chrome => "chrome",
+            },
         );
     }
 

@@ -8,6 +8,7 @@
 use std::path::PathBuf;
 
 use crate::probe::ProbeMode;
+use crate::tracing::TraceFormat;
 
 /// One runnable repro target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,19 +82,48 @@ impl Target {
     }
 
     /// Runs the driver and renders its report exactly as `repro`
-    /// prints it (one trailing newline added by the caller).
+    /// prints it (one trailing newline added by the caller). Each arm
+    /// opens a figure-level trace scope so span traces group a
+    /// driver's cells under one `fig_*` root.
     #[must_use]
     pub fn run(self, events: usize) -> String {
+        use sim_core::span::{self, ScopeKind};
         match self {
-            Target::Fig1 => crate::fig1::run(events).to_string(),
-            Target::Fig2 => crate::fig2::run(events).to_string(),
-            Target::Fig3 => crate::fig3::run(events).to_string(),
-            Target::Fig4 => crate::fig4::run(events).to_string(),
-            Target::Fig5 => crate::fig5::run(events).to_string(),
-            Target::Sec54 => crate::sec54::run(events).to_string(),
-            Target::Sec56 => crate::sec56::run(events).to_string(),
-            Target::Fig6 => crate::fig6::run(events).to_string(),
-            Target::Ablation => crate::ablation::run(events).to_string(),
+            Target::Fig1 => span::scope(ScopeKind::Figure, "fig_fig1", "fig1", String::new, || {
+                crate::fig1::run(events).to_string()
+            }),
+            Target::Fig2 => span::scope(ScopeKind::Figure, "fig_fig2", "fig2", String::new, || {
+                crate::fig2::run(events).to_string()
+            }),
+            Target::Fig3 => span::scope(ScopeKind::Figure, "fig_fig3", "fig3", String::new, || {
+                crate::fig3::run(events).to_string()
+            }),
+            Target::Fig4 => span::scope(ScopeKind::Figure, "fig_fig4", "fig4", String::new, || {
+                crate::fig4::run(events).to_string()
+            }),
+            Target::Fig5 => span::scope(ScopeKind::Figure, "fig_fig5", "fig5", String::new, || {
+                crate::fig5::run(events).to_string()
+            }),
+            Target::Sec54 => {
+                span::scope(ScopeKind::Figure, "fig_sec54", "sec54", String::new, || {
+                    crate::sec54::run(events).to_string()
+                })
+            }
+            Target::Sec56 => {
+                span::scope(ScopeKind::Figure, "fig_sec56", "sec56", String::new, || {
+                    crate::sec56::run(events).to_string()
+                })
+            }
+            Target::Fig6 => span::scope(ScopeKind::Figure, "fig_fig6", "fig6", String::new, || {
+                crate::fig6::run(events).to_string()
+            }),
+            Target::Ablation => span::scope(
+                ScopeKind::Figure,
+                "fig_ablation",
+                "ablation",
+                String::new,
+                || crate::ablation::run(events).to_string(),
+            ),
         }
     }
 
@@ -170,6 +200,13 @@ pub struct Options {
     /// `--crash-after N`: simulate a kill by exiting the process after
     /// N cells have been checkpointed (test/chaos harness only).
     pub crash_after: Option<u64>,
+    /// Where the span trace goes (`--trace-out PATH`), if anywhere.
+    pub trace_out: Option<PathBuf>,
+    /// Trace output format (`--trace-format jsonl|chrome`).
+    pub trace_format: TraceFormat,
+    /// `--trace-logical-clock`: record spans with a constant-zero
+    /// clock so the trace is byte-identical at any thread count.
+    pub trace_logical_clock: bool,
     /// Targets to run, in order.
     pub targets: Vec<Target>,
 }
@@ -194,6 +231,9 @@ where
     let mut checkpoint: Option<PathBuf> = None;
     let mut resume = false;
     let mut crash_after: Option<u64> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut trace_format: Option<TraceFormat> = None;
+    let mut trace_logical_clock = false;
     let mut targets = Vec::new();
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -266,6 +306,17 @@ where
                 }
                 crash_after = Some(n);
             }
+            "--trace-out" => {
+                let value = args.next().ok_or("--trace-out needs a path")?;
+                trace_out = Some(PathBuf::from(value));
+            }
+            "--trace-format" => {
+                let value = args
+                    .next()
+                    .ok_or("--trace-format needs `jsonl` or `chrome`")?;
+                trace_format = Some(TraceFormat::parse(&value)?);
+            }
+            "--trace-logical-clock" => trace_logical_clock = true,
             "--help" | "-h" => return Err(String::new()),
             "all" => targets.extend(Target::ALL),
             other if other.starts_with('-') => {
@@ -300,6 +351,14 @@ where
     if crash_after.is_some() && checkpoint.is_none() {
         return Err("--crash-after without --checkpoint; add `--checkpoint PATH`".into());
     }
+    if trace_out.is_none() {
+        if trace_format.is_some() {
+            return Err("--trace-format without --trace-out; add `--trace-out PATH`".into());
+        }
+        if trace_logical_clock {
+            return Err("--trace-logical-clock without --trace-out; add `--trace-out PATH`".into());
+        }
+    }
     Ok(Options {
         events,
         threads,
@@ -311,6 +370,9 @@ where
         checkpoint,
         resume,
         crash_after,
+        trace_out,
+        trace_format: trace_format.unwrap_or(TraceFormat::Jsonl),
+        trace_logical_clock,
         targets,
     })
 }
@@ -516,6 +578,44 @@ mod tests {
         let err = parse(&["--crash-after", "2"]).unwrap_err();
         assert!(err.contains("without --checkpoint"), "{err}");
         assert!(parse(&["--checkpoint", "c.jsonl", "--crash-after", "0"]).is_err());
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let opts = parse(&["--trace-out", "TRACE.jsonl", "fig1"]).unwrap();
+        assert_eq!(
+            opts.trace_out.as_deref(),
+            Some(std::path::Path::new("TRACE.jsonl"))
+        );
+        assert_eq!(opts.trace_format, TraceFormat::Jsonl);
+        assert!(!opts.trace_logical_clock);
+
+        let opts = parse(&[
+            "--trace-out",
+            "t.json",
+            "--trace-format",
+            "chrome",
+            "--trace-logical-clock",
+        ])
+        .unwrap();
+        assert_eq!(opts.trace_format, TraceFormat::Chrome);
+        assert!(opts.trace_logical_clock);
+
+        // Defaults stay off.
+        let opts = parse(&["fig1"]).unwrap();
+        assert_eq!(opts.trace_out, None);
+        assert_eq!(opts.trace_format, TraceFormat::Jsonl);
+        assert!(!opts.trace_logical_clock);
+    }
+
+    #[test]
+    fn rejects_bad_trace_flags() {
+        assert!(parse(&["--trace-out"]).is_err());
+        assert!(parse(&["--trace-out", "t.jsonl", "--trace-format", "xml"]).is_err());
+        let err = parse(&["--trace-format", "jsonl"]).unwrap_err();
+        assert!(err.contains("without --trace-out"), "{err}");
+        let err = parse(&["--trace-logical-clock"]).unwrap_err();
+        assert!(err.contains("without --trace-out"), "{err}");
     }
 
     #[test]

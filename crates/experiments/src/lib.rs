@@ -62,6 +62,8 @@ pub mod sec54;
 pub mod sec56;
 mod table;
 pub mod telemetry;
+pub mod traceview;
+pub mod tracing;
 
 pub use table::Table;
 
@@ -111,8 +113,12 @@ pub fn replay_accuracy<T: mct::EvictionClassifier>(
 ) {
     let block = replay_block_size();
     if block <= 1 {
+        let _span = sim_core::span::enter("replay_events");
+        sim_core::span::add_events(trace.len() as u64);
         trace.for_each(|set, tag| eval.observe_parts(set, tag));
     } else {
+        let _span = sim_core::span::enter("replay_block");
+        sim_core::span::add_events(trace.len() as u64);
         trace.for_each_block(block, |sets, tags| eval.observe_block(sets, tags));
     }
 }

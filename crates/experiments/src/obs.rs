@@ -84,12 +84,33 @@ fn hot_sets_of(v: &Value) -> Vec<(u64, u64)> {
 /// Renders a human-readable summary of an `obs-repro/1` JSONL
 /// document.
 ///
+/// Tolerance matches the fault-repro checkpoint loader: a torn final
+/// line (a crash mid-write) and record lines from a foreign schema
+/// are skipped with a warning in the report rather than failing the
+/// whole summary. Damage anywhere *else* — an unparseable interior
+/// line, a wrong or missing header — is still an error.
+///
 /// # Errors
 ///
-/// Returns a message when the input is not valid JSONL or does not
-/// carry the `obs-repro/1` schema header.
+/// Returns a message when the input is empty, has a non-`obs-repro/1`
+/// header, or contains an unparseable non-final line.
 pub fn summarize(text: &str, opts: &SummarizeOptions) -> Result<String, String> {
-    let values = jsonl::parse_lines(text)?;
+    let mut warnings: Vec<String> = Vec::new();
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let mut values = Vec::with_capacity(lines.len());
+    for (pos, &(lineno, line)) in lines.iter().enumerate() {
+        match jsonl::parse(line) {
+            Ok(v) => values.push(v),
+            Err(e) if pos + 1 == lines.len() => {
+                warnings.push(format!("skipped torn final line {}: {e}", lineno + 1));
+            }
+            Err(e) => return Err(format!("line {}: {e}", lineno + 1)),
+        }
+    }
     let header = values.first().ok_or("empty probe file")?;
     let schema = header.str_field("schema").unwrap_or("<missing>");
     if schema != "obs-repro/1" {
@@ -101,6 +122,7 @@ pub fn summarize(text: &str, opts: &SummarizeOptions) -> Result<String, String> 
     // order deterministic and grouped by target.
     let mut cells: BTreeMap<(String, String), CellSummary> = BTreeMap::new();
     let mut total_cells = 0u64;
+    let mut foreign = 0u64;
     for v in &values[1..] {
         let key = || {
             (
@@ -129,8 +151,15 @@ pub fn summarize(text: &str, opts: &SummarizeOptions) -> Result<String, String> 
             }
             Some("event") => cells.entry(key()).or_default().raw_events += 1,
             Some("totals") => total_cells = v.u64_field("cells").unwrap_or(0),
-            _ => return Err(format!("unrecognized record type in {v:?}")),
+            // A record from another schema (or an unknown type): skip
+            // it, like the checkpoint loader discards foreign lines.
+            _ => foreign += 1,
         }
+    }
+    if foreign > 0 {
+        warnings.push(format!(
+            "skipped {foreign} foreign/unrecognized record line(s)"
+        ));
     }
 
     let mut out = String::new();
@@ -150,6 +179,9 @@ pub fn summarize(text: &str, opts: &SummarizeOptions) -> Result<String, String> 
     if let Some(targets) = header.get("targets").and_then(Value::as_array) {
         let names: Vec<&str> = targets.iter().filter_map(Value::as_str).collect();
         out.push_str(&format!("targets: {}\n", names.join(" ")));
+    }
+    for w in &warnings {
+        out.push_str(&format!("warning: {w}\n"));
     }
     out.push('\n');
 
@@ -364,5 +396,43 @@ mod tests {
         assert!(err.contains("obs-repro/1"), "{err}");
         assert!(summarize("", &SummarizeOptions::default()).is_err());
         assert!(summarize("not json\n", &SummarizeOptions::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_probe_file() {
+        let err = summarize("", &SummarizeOptions::default()).unwrap_err();
+        assert!(err.contains("empty probe file"), "{err}");
+        // Whitespace-only input is the same as empty.
+        let err = summarize("\n  \n", &SummarizeOptions::default()).unwrap_err();
+        assert!(err.contains("empty probe file"), "{err}");
+    }
+
+    #[test]
+    fn tolerates_torn_final_line() {
+        let mut text = sample_jsonl();
+        // Simulate a crash mid-write: the last line is truncated JSON.
+        text.push_str("{\"type\":\"cell\",\"target\":\"fig1\",\"ce");
+        let out = summarize(&text, &SummarizeOptions::default()).unwrap();
+        assert!(out.contains("warning: skipped torn final line"), "{out}");
+        // The intact records still summarize normally.
+        assert!(out.contains("dm16/swim"), "{out}");
+        // A torn line in the *middle* of the file is still an error.
+        let torn_middle = "{\"schema\":\"obs-repro/1\",\"mode\":\"raw\",\"events_per_workload\":1}\n{\"type\nonsense\n{\"type\":\"totals\",\"cells\":0}\n";
+        assert!(summarize(torn_middle, &SummarizeOptions::default()).is_err());
+    }
+
+    #[test]
+    fn skips_foreign_schema_records_with_warning() {
+        let mut text = sample_jsonl();
+        // Splice a record from another schema before the final line.
+        let insert = "{\"type\":\"span\",\"scope\":\"cell\",\"name\":\"replay_block\"}\n";
+        let tail = text.rfind("{\"type\":\"totals\"").unwrap();
+        text.insert_str(tail, insert);
+        let out = summarize(&text, &SummarizeOptions::default()).unwrap();
+        assert!(
+            out.contains("warning: skipped 1 foreign/unrecognized record line(s)"),
+            "{out}"
+        );
+        assert!(out.contains("dm16/swim"), "{out}");
     }
 }

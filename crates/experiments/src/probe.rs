@@ -80,13 +80,24 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Acquire)
 }
 
-/// Runs one experiment cell under the configured probe (if any).
+/// Runs one experiment cell under the configured probe (if any) and
+/// inside a `cell_run` span scope (if tracing is armed).
 ///
-/// `label` is only invoked when probing is enabled, so drivers pay no
-/// string formatting on plain runs. The cell body `f` runs with a
-/// thread-local sink installed; its folded record is appended to the
-/// global collection for [`drain`].
-pub fn cell<R>(target: &'static str, label: impl FnOnce() -> String, f: impl FnOnce() -> R) -> R {
+/// `label` is only invoked when probing or tracing is armed, so
+/// drivers pay no string formatting on plain runs. The cell body `f`
+/// runs with a thread-local sink installed; its folded record is
+/// appended to the global collection for [`drain`].
+pub fn cell<R>(target: &'static str, label: impl Fn() -> String, f: impl FnOnce() -> R) -> R {
+    sim_core::span::scope(
+        sim_core::span::ScopeKind::Cell,
+        "cell_run",
+        target,
+        &label,
+        || cell_probed(target, &label, f),
+    )
+}
+
+fn cell_probed<R>(target: &'static str, label: &dyn Fn() -> String, f: impl FnOnce() -> R) -> R {
     if !enabled() {
         return f();
     }
@@ -145,6 +156,7 @@ pub fn cell<R>(target: &'static str, label: impl FnOnce() -> String, f: impl FnO
     // record is pushed (so a recovered flush stores it exactly once);
     // a persistent fault unwinds and the scheduler's cell retry takes
     // over.
+    let _flush = sim_core::span::enter("probe_flush");
     if let Err(fault) = sim_core::fault::gate(sim_core::fault::FaultSite::ProbeFlush) {
         std::panic::panic_any(fault);
     }

@@ -38,11 +38,40 @@ impl Stopwatch {
         Stopwatch(std::time::Instant::now())
     }
 
-    /// Seconds elapsed since [`Stopwatch::start`].
+    /// Seconds elapsed since [`Stopwatch::start`], clamped at zero.
+    ///
+    /// `Instant` promises monotonicity, but several platforms have
+    /// shipped clocks that run backwards across cores or suspends;
+    /// `Instant::elapsed` panics (or, historically, underflowed) on
+    /// such a read. A stopwatch that only feeds telemetry must never
+    /// take a sweep down with it, so a non-monotonic read reports
+    /// `0.0` instead.
     #[must_use]
     pub fn elapsed_seconds(&self) -> f64 {
-        self.0.elapsed().as_secs_f64()
+        std::time::Instant::now()
+            .checked_duration_since(self.0)
+            .unwrap_or_default()
+            .as_secs_f64()
     }
+}
+
+/// The nanosecond clock the span layer records through
+/// (`sim_core::span::arm`): monotonic nanoseconds since the first
+/// read, clamped at zero like [`Stopwatch::elapsed_seconds`]. Keeping
+/// the `Instant` reads here preserves the `wallclock` lint's
+/// invariant that this module is the workspace's only clock site.
+#[must_use]
+pub fn trace_clock_ns() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(std::time::Instant::now);
+    u64::try_from(
+        std::time::Instant::now()
+            .checked_duration_since(epoch)
+            .unwrap_or_default()
+            .as_nanos(),
+    )
+    .unwrap_or(u64::MAX)
 }
 
 /// Records `n` simulated events. Called by every driver's inner loop
@@ -294,6 +323,24 @@ mod tests {
         assert!(json.contains("\"threads\": 4"));
         // No trailing commas before closers.
         assert!(!json.contains(",\n  ]") && !json.contains(",\n}"));
+    }
+
+    #[test]
+    fn stopwatch_clamps_non_monotonic_reads_to_zero() {
+        // A stopwatch "started" in the future models a clock that
+        // stepped backwards between start() and elapsed_seconds().
+        let future = Stopwatch(std::time::Instant::now() + std::time::Duration::from_secs(3600));
+        assert_eq!(future.elapsed_seconds(), 0.0);
+        // And a normal stopwatch still measures forward time.
+        let now = Stopwatch::start();
+        assert!(now.elapsed_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn trace_clock_is_monotonic_from_zero() {
+        let a = trace_clock_ns();
+        let b = trace_clock_ns();
+        assert!(b >= a);
     }
 
     #[test]

@@ -1,16 +1,19 @@
 //! Golden tests pinning the machine-readable schemas the workspace
 //! emits: `bench-repro/2` (from `repro --bench-json`), `obs-repro/1`
 //! (from `repro --probe`), `fault-repro/1` (from
-//! `repro --checkpoint`), and `lint-repro/1` (from
-//! `cargo run -p simlint -- --json`). Downstream tooling parses these
-//! files across PRs, so any field rename, reordering, or escaping
-//! change must show up as a deliberate diff here (and a schema version
-//! bump).
+//! `repro --checkpoint`), `trace-repro/1` (from `repro --trace-out`),
+//! and `lint-repro/1` (from `cargo run -p simlint -- --json`).
+//! Downstream tooling parses these files across PRs, so any field
+//! rename, reordering, or escaping change must show up as a deliberate
+//! diff here (and a schema version bump).
 
 use experiments::checkpoint::{self, CellEntry, CellStatus, CheckpointWriter};
 use experiments::probe::{render_jsonl, CellRecord, ProbeMode, RunHeader};
 use experiments::telemetry::{BenchReport, FigureBench};
+use experiments::tracing::{self, MetricsSnapshot, TraceHeader};
+use sim_core::parallel::WorkerTally;
 use sim_core::probe::{EpochSnapshot, Registry};
+use sim_core::span::{ScopeKind, ScopeRecord, SpanRecord};
 use trace_gen::arena::ArenaStats;
 
 #[test]
@@ -165,6 +168,131 @@ fn obs_repro_1_jsonl_is_stable() {
 }
 
 #[test]
+fn trace_repro_1_jsonl_is_stable() {
+    let records = vec![
+        ScopeRecord {
+            kind: ScopeKind::Cell,
+            // Exercise string escaping in the cell label.
+            target: "fig1".to_owned(),
+            label: "16KB \"DM\"/swim".to_owned(),
+            worker: 2,
+            spans: vec![
+                SpanRecord {
+                    name: "cell_run",
+                    id: 1,
+                    parent: 0,
+                    depth: 0,
+                    start_ns: 1_000,
+                    dur_ns: 9_500,
+                    events: 0,
+                },
+                SpanRecord {
+                    name: "replay_block",
+                    id: 2,
+                    parent: 1,
+                    depth: 1,
+                    start_ns: 2_000,
+                    dur_ns: 7_000,
+                    events: 2_000,
+                },
+            ],
+        },
+        ScopeRecord {
+            kind: ScopeKind::Subsystem,
+            target: "arena".to_owned(),
+            label: "swim/1/2000".to_owned(),
+            worker: 1,
+            spans: vec![SpanRecord {
+                name: "arena_materialize",
+                id: 1,
+                parent: 0,
+                depth: 0,
+                start_ns: 500,
+                dur_ns: 400,
+                events: 2_000,
+            }],
+        },
+    ];
+    let header = TraceHeader {
+        logical: false,
+        events_per_workload: 2_000,
+        targets: vec!["fig1"],
+    };
+    let metrics = MetricsSnapshot {
+        arena: ArenaStats {
+            hits: 7,
+            misses: 3,
+            traces: 3,
+            resident_events: 9_000,
+        },
+        decomposed_hits: 5,
+        decomposed_misses: 2,
+        pool: cache_model::pool::PoolStats {
+            allocs: 4,
+            reuses: 12,
+            recycles: 16,
+        },
+        workers: vec![
+            (
+                1,
+                WorkerTally {
+                    cells: 3,
+                    chunks: 2,
+                    busy_ns: 10_000,
+                },
+            ),
+            (
+                2,
+                WorkerTally {
+                    cells: 1,
+                    chunks: 1,
+                    busy_ns: 9_500,
+                },
+            ),
+        ],
+        fault_injected: 1,
+        fault_exhausted: 0,
+        degraded: 0,
+    };
+    let expected = concat!(
+        "{\"schema\":\"trace-repro/1\",\"logical\":false,\"events_per_workload\":2000,\"targets\":[\"fig1\"]}\n",
+        "{\"type\":\"span\",\"scope\":\"cell\",\"target\":\"fig1\",\"label\":\"16KB \\\"DM\\\"/swim\",\"worker\":2,\"name\":\"cell_run\",\"id\":1,\"parent\":0,\"depth\":0,\"start_ns\":1000,\"dur_ns\":9500,\"events\":0}\n",
+        "{\"type\":\"span\",\"scope\":\"cell\",\"target\":\"fig1\",\"label\":\"16KB \\\"DM\\\"/swim\",\"worker\":2,\"name\":\"replay_block\",\"id\":2,\"parent\":1,\"depth\":1,\"start_ns\":2000,\"dur_ns\":7000,\"events\":2000}\n",
+        "{\"type\":\"span\",\"scope\":\"subsystem\",\"target\":\"arena\",\"label\":\"swim/1/2000\",\"worker\":1,\"name\":\"arena_materialize\",\"id\":1,\"parent\":0,\"depth\":0,\"start_ns\":500,\"dur_ns\":400,\"events\":2000}\n",
+        "{\"type\":\"metrics\",\"arena\":{\"hits\":7,\"misses\":3,\"traces\":3,\"resident_events\":9000},\"decomposed\":{\"hits\":5,\"misses\":2},\"pool\":{\"allocs\":4,\"reuses\":12,\"recycles\":16},\"workers\":[{\"worker\":1,\"cells\":3,\"chunks\":2,\"busy_ns\":10000},{\"worker\":2,\"cells\":1,\"chunks\":1,\"busy_ns\":9500}],\"fault\":{\"injected\":1,\"exhausted\":0,\"degraded\":0}}\n",
+        "{\"type\":\"totals\",\"scopes\":2,\"spans\":3,\"events\":4000}\n",
+    );
+    let rendered = tracing::render_jsonl(&records, &header, Some(&metrics));
+    assert_eq!(rendered, expected);
+
+    // The golden text must round-trip through the workspace's own JSON
+    // reader, and every span name must carry a registered prefix (the
+    // same invariants `obs verify-trace` checks in CI).
+    let values = experiments::jsonl::parse_lines(&rendered).expect("golden trace parses");
+    assert_eq!(values.len(), 6);
+    assert_eq!(values[0].str_field("schema"), Some("trace-repro/1"));
+    assert_eq!(values[1].str_field("label"), Some("16KB \"DM\"/swim"));
+    for v in &values {
+        if v.str_field("type") == Some("span") {
+            let name = v.str_field("name").unwrap();
+            assert!(sim_core::span::name_registered(name), "{name}");
+        }
+    }
+    let verdict = experiments::traceview::verify(&rendered).expect("golden trace verifies");
+    assert!(verdict.contains("trace OK"), "{verdict}");
+
+    // The logical rendering of the same records zeroes every
+    // machine-dependent field and withholds the metrics record.
+    let logical_header = TraceHeader {
+        logical: true,
+        ..header
+    };
+    let logical = tracing::render_jsonl(&records, &logical_header, Some(&metrics));
+    assert!(!logical.contains("\"type\":\"metrics\""));
+    assert!(logical.contains("\"worker\":0,\"name\":\"cell_run\",\"id\":1,\"parent\":0,\"depth\":0,\"start_ns\":0,\"dur_ns\":0"));
+}
+
+#[test]
 fn lint_repro_1_jsonl_is_stable() {
     let report = simlint::Report {
         findings: vec![simlint::Finding::new(
@@ -177,7 +305,7 @@ fn lint_repro_1_jsonl_is_stable() {
         files_scanned: 101,
     };
     let expected = concat!(
-        "{\"schema\":\"lint-repro/1\",\"rules\":[\"bench-prefix\",\"default-hasher\",\"hot-path-panic\",\"probe-guard\",\"unseeded-rng\",\"waiver\",\"wallclock\"],\"files_scanned\":101}\n",
+        "{\"schema\":\"lint-repro/1\",\"rules\":[\"bench-prefix\",\"default-hasher\",\"hot-path-panic\",\"probe-guard\",\"span-name\",\"unseeded-rng\",\"waiver\",\"wallclock\"],\"files_scanned\":101}\n",
         "{\"type\":\"finding\",\"rule\":\"wallclock\",\"file\":\"crates/cpu/src/baseline.rs\",\"line\":7,\"message\":\"wall-clock access with an \\\"odd\\\\quote\\\"\"}\n",
         "{\"type\":\"summary\",\"findings\":1,\"waived\":1,\"files_scanned\":101}\n",
     );

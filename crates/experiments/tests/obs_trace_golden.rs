@@ -1,0 +1,42 @@
+//! Golden tests for the trace analytics views: `obs timeline`,
+//! `obs flame`, and `obs phases` each rendered against the committed
+//! fixture trace `tests/fixtures/TRACE_fixture.jsonl` and compared
+//! byte-for-byte to a committed expected report. A formatting change
+//! to any view must show up as a deliberate diff to the `.txt`
+//! fixtures.
+
+use experiments::traceview;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn fixture_trace_verifies() {
+    let report = traceview::verify(&fixture("TRACE_fixture.jsonl")).expect("fixture verifies");
+    assert_eq!(
+        report,
+        "trace OK: 6 scopes, 10 spans, all names registered\n"
+    );
+}
+
+#[test]
+fn timeline_matches_golden() {
+    let report = traceview::timeline(&fixture("TRACE_fixture.jsonl")).expect("timeline renders");
+    assert_eq!(report, fixture("TRACE_fixture.timeline.txt"));
+}
+
+#[test]
+fn flame_matches_golden() {
+    let report = traceview::flame(&fixture("TRACE_fixture.jsonl")).expect("flame renders");
+    assert_eq!(report, fixture("TRACE_fixture.flame.txt"));
+}
+
+#[test]
+fn phases_matches_golden() {
+    let report = traceview::phases(&fixture("TRACE_fixture.jsonl")).expect("phases renders");
+    assert_eq!(report, fixture("TRACE_fixture.phases.txt"));
+}

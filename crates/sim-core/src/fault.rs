@@ -390,6 +390,7 @@ pub fn backoff(attempt: u32) {
     let policy = current().map_or_else(RetryPolicy::default, |st| st.plan.retry);
     let delay = backoff_delay(&policy, attempt);
     if !delay.is_zero() {
+        let _span = crate::span::enter("fault_backoff");
         std::thread::sleep(delay);
     }
 }
@@ -425,6 +426,7 @@ pub fn gate(site: FaultSite) -> Result<u32, FaultError> {
                 attempts: attempt,
             });
         }
+        let _span = crate::span::enter("fault_backoff");
         std::thread::sleep(backoff_delay(&st.plan.retry, attempt));
     }
     Ok(attempt)

@@ -18,6 +18,8 @@
 //!   experiment fans independent cells out with;
 //! * [`probe`] — zero-overhead-when-disabled observability probes
 //!   (event sinks, per-epoch folds, named counter registry);
+//! * [`span`] — hierarchical self-profiling spans (per-phase timing
+//!   with the same zero-overhead-when-disarmed discipline);
 //! * [`stats`] — counters, ratios and accumulators used to report
 //!   hit rates and speedups.
 //!
@@ -42,6 +44,7 @@ pub mod hash;
 pub mod parallel;
 pub mod probe;
 pub mod rng;
+pub mod span;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr};

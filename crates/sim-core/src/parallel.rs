@@ -52,11 +52,12 @@
 //! ```
 
 use std::any::Any;
+use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
-use crate::fault;
+use crate::{fault, span};
 
 /// Global worker-count override: 0 = automatic.
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -117,6 +118,57 @@ impl fmt::Display for CellFailure {
 }
 
 impl std::error::Error for CellFailure {}
+
+/// Per-worker scheduler tallies, accumulated across [`par_map`] calls
+/// while the span layer is armed (untraced runs pay nothing). Worker
+/// 0 is the calling thread (the serial/inline path); spawned workers
+/// are numbered from 1 in spawn order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerTally {
+    /// Cells this worker completed.
+    pub cells: u64,
+    /// Chunks claimed from the shared counter — each claim after a
+    /// worker's first is work stolen from the static split.
+    pub chunks: u64,
+    /// Nanoseconds spent inside cell bodies, on the armed span clock.
+    pub busy_ns: u64,
+}
+
+/// Monotonic worker numbering across every spawn since the last
+/// [`reset_worker_tallies`], so concurrent/nested `par_map` calls
+/// never share a lane id.
+static NEXT_WORKER: AtomicU32 = AtomicU32::new(0);
+static TALLIES: Mutex<BTreeMap<u32, WorkerTally>> = Mutex::new(BTreeMap::new());
+
+/// Clears the per-worker tallies and restarts worker numbering. The
+/// harness calls this right after arming the span layer so a trace's
+/// lanes start at worker 1.
+pub fn reset_worker_tallies() {
+    NEXT_WORKER.store(0, Ordering::Relaxed);
+    TALLIES
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+}
+
+/// Snapshot of the per-worker tallies, sorted by worker id.
+#[must_use]
+pub fn worker_tallies() -> Vec<(u32, WorkerTally)> {
+    TALLIES
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(&w, &t)| (w, t))
+        .collect()
+}
+
+fn record_tally(worker: u32, cells: u64, chunks: u64, busy_ns: u64) {
+    let mut map = TALLIES.lock().unwrap_or_else(PoisonError::into_inner);
+    let t = map.entry(worker).or_default();
+    t.cells += cells;
+    t.chunks += chunks;
+    t.busy_ns += busy_ns;
+}
 
 fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(fp) = payload.downcast_ref::<fault::FaultPanic>() {
@@ -235,11 +287,17 @@ where
 {
     let n = items.len();
     if n <= 1 || threads <= 1 {
-        return items
+        let start = span::clock_now();
+        let out: Vec<Result<R, CellFailure>> = items
             .iter()
             .enumerate()
             .map(|(idx, item)| run_item(idx, item, &f))
             .collect();
+        if let Some(start) = start {
+            let busy = span::clock_now().unwrap_or(start).saturating_sub(start);
+            record_tally(span::worker(), n as u64, 1, busy);
+        }
+        return out;
     }
     let threads = threads.min(n);
 
@@ -263,16 +321,29 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(move || {
+                    let worker = NEXT_WORKER.fetch_add(1, Ordering::Relaxed) + 1;
+                    span::set_worker(worker);
                     let mut out = Vec::new();
+                    let mut tally = WorkerTally::default();
                     loop {
                         let c = next_chunk.fetch_add(1, Ordering::Relaxed);
                         let Some(chunk) = chunks.get(c) else { break };
+                        tally.chunks += 1;
                         // Uncontended by construction: each chunk index
                         // is claimed by exactly one worker.
                         let work = std::mem::take(&mut *chunk.lock().expect("chunk lock"));
                         for (idx, item) in work {
+                            let start = span::clock_now();
                             out.push((idx, run_item(idx, &item, f)));
+                            tally.cells += 1;
+                            if let Some(start) = start {
+                                tally.busy_ns +=
+                                    span::clock_now().unwrap_or(start).saturating_sub(start);
+                            }
                         }
+                    }
+                    if span::active() {
+                        record_tally(worker, tally.cells, tally.chunks, tally.busy_ns);
                     }
                     out
                 })

@@ -34,11 +34,12 @@ impl FileCtx<'_> {
 }
 
 /// Every rule name, in the order diagnostics list them.
-pub const RULE_NAMES: [&str; 7] = [
+pub const RULE_NAMES: [&str; 8] = [
     "bench-prefix",
     "default-hasher",
     "hot-path-panic",
     "probe-guard",
+    "span-name",
     "unseeded-rng",
     "waiver",
     "wallclock",
@@ -60,6 +61,7 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
     probe_guard(ctx, &mut findings);
     unseeded_rng(ctx, &mut findings);
     bench_prefix(ctx, &mut findings);
+    span_name(ctx, &mut findings);
     findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
     findings
 }
@@ -326,6 +328,53 @@ fn bench_prefix(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Component prefixes a span name may carry, mirrored from
+/// `sim_core::span::NAME_PREFIXES`: the prefix names the subsystem
+/// that owns the phase, so trace analytics stay navigable as spans
+/// accumulate. (Duplicated here because simlint is dependency-free by
+/// design; `trace_determinism.rs` pins the real registry.)
+const SPAN_NAME_PREFIXES: [&str; 8] = [
+    "arena_", "cell_", "fault_", "fig_", "probe_", "replay_", "sched_", "sweep_",
+];
+
+/// `span-name`: every `span::enter(` / `span::scope(` call site names
+/// its span with a static string literal carrying a registered
+/// component prefix — dynamic names would defeat the `obs phases`
+/// aggregation and the trace-verification CI step. The name is the
+/// first string literal on the call line or within the next two lines
+/// (rustfmt wraps the argument list of long `scope` calls).
+fn span_name(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    // The span module itself defines `enter` and `scope`.
+    if ctx.path == "crates/sim-core/src/span.rs" {
+        return;
+    }
+    for (i, line) in ctx.lines.iter().enumerate() {
+        if !line.contains("span::enter(") && !line.contains("span::scope(") {
+            continue;
+        }
+        let name = ctx
+            .strings
+            .iter()
+            .find(|(l, _)| (i + 1..=i + 3).contains(l))
+            .map(|(_, s)| s.as_str());
+        let registered = name.is_some_and(|n| SPAN_NAME_PREFIXES.iter().any(|p| n.starts_with(p)));
+        if registered {
+            continue;
+        }
+        let message = match name {
+            Some(n) => format!(
+                "span name \"{n}\" lacks a registered component prefix \
+                 (arena_/cell_/fault_/fig_/probe_/replay_/sched_/sweep_)"
+            ),
+            None => "span name is not a string literal at the call site; name spans \
+                     with a static literal carrying a registered component prefix \
+                     (arena_/cell_/fault_/fig_/probe_/replay_/sched_/sweep_)"
+                .to_owned(),
+        };
+        findings.push(Finding::new("span-name", ctx.path, i + 1, message));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +470,27 @@ mod tests {
             ctx_findings("crates/bench/benches/substrate.rs", wrapped_bad).len(),
             1
         );
+    }
+
+    #[test]
+    fn span_name_requires_registered_literal() {
+        let ok = "let _s = sim_core::span::enter(\"replay_block\");";
+        assert!(ctx_findings("crates/x/src/lib.rs", ok).is_empty());
+        let scope_ok = "span::scope(ScopeKind::Figure, \"fig_fig1\", \"fig1\", String::new, f);";
+        assert!(ctx_findings("crates/x/src/lib.rs", scope_ok).is_empty());
+        // rustfmt-wrapped scope call: the name literal lands two lines
+        // down.
+        let wrapped = "sim_core::span::scope(\n    ScopeKind::Sweep,\n    \"sweep_repro\",\n    \"repro\",\n);";
+        assert!(ctx_findings("crates/x/src/lib.rs", wrapped).is_empty());
+        let bad = "let _s = crate::span::enter(\"mystery_phase\");";
+        let findings = ctx_findings("crates/x/src/lib.rs", bad);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("mystery_phase"));
+        // A computed name cannot be checked and is flagged too.
+        let dynamic = "let _s = sim_core::span::enter(name);";
+        assert_eq!(ctx_findings("crates/x/src/lib.rs", dynamic).len(), 1);
+        // The span module itself is the definition site.
+        assert!(ctx_findings("crates/sim-core/src/span.rs", bad).is_empty());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::path::Path;
 
 /// Every known-bad fixture with the synthetic path it is linted under.
 /// Order here is the order of blocks in the golden file.
-const BAD_FIXTURES: [(&str, &str); 7] = [
+const BAD_FIXTURES: [(&str, &str); 8] = [
     ("bad_default_hasher.rs", "crates/x/src/lib.rs"),
     ("bad_wallclock.rs", "crates/cpu/src/baseline.rs"),
     ("bad_hot_path_panic.rs", "crates/cache/src/cache.rs"),
@@ -23,6 +23,7 @@ const BAD_FIXTURES: [(&str, &str); 7] = [
     ("bad_unseeded_rng.rs", "crates/x/src/lib.rs"),
     ("bad_waiver.rs", "crates/x/src/lib.rs"),
     ("bad_bench_prefix.rs", "crates/bench/benches/micro.rs"),
+    ("bad_span_name.rs", "crates/x/src/lib.rs"),
 ];
 
 fn fixture(name: &str) -> String {

@@ -79,7 +79,7 @@ pub struct TraceArena {
 }
 
 /// Counters describing how much work the arena has absorbed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArenaStats {
     /// Requests served by replaying an existing slice.
     pub hits: u64,
@@ -119,6 +119,11 @@ impl TraceArena {
         S: TraceSource,
     {
         let events = key.events;
+        // Span label, computed only when tracing is armed (the scope
+        // is attributed to the arena, not the racing requester, so the
+        // recorded scope set is identical at any thread count).
+        let span_label = sim_core::span::active()
+            .then(|| format!("{}/{}/{}", key.workload, key.seed, key.events));
         let cell = {
             // Poison recovery: the map's entries are only ever inserted
             // whole, so a panic on another thread cannot leave a slot
@@ -128,18 +133,28 @@ impl TraceArena {
         };
         let mut materialized = false;
         let trace = cell.get_or_init(|| {
-            // Injection site: a transient fault retries inside the
-            // gate and falls through to generate; a persistent one
-            // unwinds (the `OnceLock` stays uninitialized, so a
-            // retried cell re-attempts materialization from scratch).
-            if let Err(fault) = sim_core::fault::gate(sim_core::fault::FaultSite::ArenaMaterialize)
-            {
-                std::panic::panic_any(fault);
-            }
-            materialized = true;
-            let mut src = source();
-            let trace: Vec<TraceEvent> = (0..events).map(|_| src.next_event()).collect();
-            Arc::from(trace)
+            sim_core::span::scope(
+                sim_core::span::ScopeKind::Subsystem,
+                "arena_materialize",
+                "arena",
+                || span_label.clone().unwrap_or_default(),
+                || {
+                    // Injection site: a transient fault retries inside the
+                    // gate and falls through to generate; a persistent one
+                    // unwinds (the `OnceLock` stays uninitialized, so a
+                    // retried cell re-attempts materialization from scratch).
+                    if let Err(fault) =
+                        sim_core::fault::gate(sim_core::fault::FaultSite::ArenaMaterialize)
+                    {
+                        std::panic::panic_any(fault);
+                    }
+                    materialized = true;
+                    let mut src = source();
+                    let trace: Vec<TraceEvent> = (0..events).map(|_| src.next_event()).collect();
+                    sim_core::span::add_events(trace.len() as u64);
+                    Arc::from(trace)
+                },
+            )
         });
         if materialized {
             self.misses.fetch_add(1, Ordering::Relaxed);

@@ -213,6 +213,15 @@ impl DecomposedArena {
         set_bits: u32,
         trace: impl FnOnce() -> Arc<[TraceEvent]>,
     ) -> Arc<DecomposedTrace> {
+        // Span label, computed only when tracing is armed (the scope
+        // belongs to the arena subsystem, so the recorded scope set is
+        // identical at any thread count).
+        let span_label = sim_core::span::active().then(|| {
+            format!(
+                "{}/{}/{}/ls{line_size}/sb{set_bits}",
+                key.workload, key.seed, key.events
+            )
+        });
         let cell = {
             let key = DecomposedKey {
                 trace: key,
@@ -228,16 +237,27 @@ impl DecomposedArena {
         };
         let mut decomposed = false;
         let result = cell.get_or_init(|| {
-            // Injection site: transient faults retry inside the gate;
-            // a persistent one unwinds via panic_any (no panicking
-            // macro on this replay path), leaving the `OnceLock`
-            // uninitialized so a retried cell re-attempts the split.
-            if let Err(fault) = sim_core::fault::gate(sim_core::fault::FaultSite::ArenaMaterialize)
-            {
-                std::panic::panic_any(fault);
-            }
-            decomposed = true;
-            Arc::new(DecomposedTrace::decompose(&trace(), line_size, set_bits))
+            sim_core::span::scope(
+                sim_core::span::ScopeKind::Subsystem,
+                "arena_decompose",
+                "arena",
+                || span_label.clone().unwrap_or_default(),
+                || {
+                    // Injection site: transient faults retry inside the gate;
+                    // a persistent one unwinds via panic_any (no panicking
+                    // macro on this replay path), leaving the `OnceLock`
+                    // uninitialized so a retried cell re-attempts the split.
+                    if let Err(fault) =
+                        sim_core::fault::gate(sim_core::fault::FaultSite::ArenaMaterialize)
+                    {
+                        std::panic::panic_any(fault);
+                    }
+                    decomposed = true;
+                    let d = DecomposedTrace::decompose(&trace(), line_size, set_bits);
+                    sim_core::span::add_events(d.len() as u64);
+                    Arc::new(d)
+                },
+            )
         });
         if decomposed {
             self.misses.fetch_add(1, Ordering::Relaxed);
