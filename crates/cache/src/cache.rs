@@ -446,8 +446,96 @@ struct BlockScratch {
 /// accesses into per-set runs and an ascending sweep. The paper's
 /// L1/L2 shapes (≤ 16K slots ≈ 384 KB of rows) stay below the
 /// threshold; the MRC-scale geometries ROADMAP item 4 targets sit
-/// above it.
-const SORT_SLOT_THRESHOLD: usize = 16 * 1024;
+/// above it. Public because the same boundary decides when replay
+/// drivers request the decompose-time partitioned trace form
+/// ([`SetAssocCache::access_partitioned_with`]) instead of per-block
+/// sorting.
+pub const SORT_SLOT_THRESHOLD: usize = 16 * 1024;
+
+/// A borrowed set-partitioned event sequence: per-set runs of
+/// `(original_index, tag)` pairs plus a directory of touched sets —
+/// the CSR layout `trace_gen`'s `PartitionedTrace` produces at
+/// decomposition time. Run `k` covers set `dir_sets[k]` and occupies
+/// `indices[dir_starts[k]..dir_starts[k + 1]]` (same range of
+/// `tags`); within a run events keep trace order.
+///
+/// This is a view, not a container, so the kernel can consume
+/// presorted traces without the trace crate depending on this crate
+/// (or vice versa): producers expose raw slices, consumers rebuild
+/// the view.
+#[derive(Debug, Clone, Copy)]
+pub struct SetRuns<'a> {
+    dir_sets: &'a [u32],
+    dir_starts: &'a [u32],
+    indices: &'a [u32],
+    tags: &'a [u64],
+}
+
+impl<'a> SetRuns<'a> {
+    /// Builds the view over a CSR partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory shape is inconsistent: `dir_starts`
+    /// must be one longer than `dir_sets`, start at 0, end at the
+    /// event count, and `indices`/`tags` must be equally long.
+    #[must_use]
+    pub fn new(
+        dir_sets: &'a [u32],
+        dir_starts: &'a [u32],
+        indices: &'a [u32],
+        tags: &'a [u64],
+    ) -> Self {
+        assert_eq!(
+            dir_starts.len(),
+            dir_sets.len() + 1,
+            "dir_starts must be one longer than dir_sets"
+        );
+        assert_eq!(dir_starts.first(), Some(&0), "runs must start at 0");
+        // dir_starts is non-empty here (first assert), so the
+        // fallback never applies; it keeps this total for the lint.
+        assert_eq!(
+            dir_starts.last().copied().unwrap_or(0) as usize,
+            indices.len(),
+            "dir_starts must end at the event count"
+        );
+        assert_eq!(indices.len(), tags.len(), "indices/tags length mismatch");
+        SetRuns {
+            dir_sets,
+            dir_starts,
+            indices,
+            tags,
+        }
+    }
+
+    /// Number of events across all runs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `true` if there are no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Number of per-set runs.
+    #[must_use]
+    pub fn run_count(&self) -> usize {
+        self.dir_sets.len()
+    }
+
+    /// Iterates `(set, original_indices, tags)` runs in directory
+    /// order.
+    pub fn runs(&self) -> impl Iterator<Item = (u32, &'a [u32], &'a [u64])> + '_ {
+        self.dir_sets.iter().enumerate().map(move |(k, &set)| {
+            let lo = self.dir_starts[k] as usize;
+            let hi = self.dir_starts[k + 1] as usize;
+            (set, &self.indices[lo..hi], &self.tags[lo..hi])
+        })
+    }
+}
 
 impl BlockScratch {
     /// Stable counting sort of the block's events by set.
@@ -649,6 +737,71 @@ impl<M> SetAssocCache<M> {
         assert_eq!(sets.len(), out.len(), "sets/out length mismatch");
         let mut sink = OutcomeSink { out };
         self.access_block_with(sets, tags, &mut sink);
+    }
+
+    /// Replays a whole set-partitioned trace through a sink: one
+    /// [`Self::block_run`] per run, straight off the presorted
+    /// [`SetRuns`] arrays — no [`BlockScratch`], no per-block
+    /// re-bucketing, policy dispatched once for the entire replay.
+    ///
+    /// Equivalence with per-event replay holds by the same argument
+    /// as [`Self::access_block_with`], taken to its limit (the whole
+    /// trace is one block): within a run events keep trace order, and
+    /// victim choice depends only on within-set state — stamps are
+    /// compared by order, not value, and Random reseeds from the
+    /// set's own eviction counter — so hits, misses, evictions,
+    /// statistics and final contents all match exactly. `sink`
+    /// callbacks receive each event's *original trace index*, which
+    /// is how consumers scatter results back into trace order.
+    ///
+    /// Partitioned replay visits sets out of trace order, so it
+    /// cannot reproduce a per-event probe stream; callers must use
+    /// trace-order replay while a probe sink is armed on a
+    /// set-probe-reporting cache (debug-asserted here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a set index is out of range for the geometry.
+    pub fn access_partitioned_with<S: BlockSink<M>>(&mut self, runs: SetRuns<'_>, sink: &mut S) {
+        debug_assert!(
+            !(self.probed && probe::active()),
+            "partitioned replay cannot reproduce per-event probe streams; \
+             replay in trace order while probes are armed"
+        );
+        match self.replacement {
+            Replacement::Lru => self.process_runs::<LruPolicy, S>(runs, sink),
+            Replacement::Fifo => self.process_runs::<FifoPolicy, S>(runs, sink),
+            Replacement::Random => self.process_runs::<RandomPolicy, S>(runs, sink),
+        }
+    }
+
+    /// [`Self::access_partitioned_with`] with a plain outcome array
+    /// indexed by *original trace position*: misses fill `M::default()`
+    /// metadata and each event records whether it hit, filled an empty
+    /// way, or displaced a line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the largest original index, or
+    /// a set index is out of range for the geometry.
+    pub fn access_partitioned(&mut self, runs: SetRuns<'_>, out: &mut [BlockOutcome])
+    where
+        M: Default,
+    {
+        assert_eq!(runs.len(), out.len(), "runs/out length mismatch");
+        let mut sink = OutcomeSink { out };
+        self.access_partitioned_with(runs, &mut sink);
+    }
+
+    /// The per-run engine, monomorphized per replacement policy.
+    fn process_runs<P: BlockPolicy, S: BlockSink<M>>(&mut self, runs: SetRuns<'_>, sink: &mut S) {
+        for (set, indices, run_tags) in runs.runs() {
+            if let (&[index], &[tag]) = (indices, run_tags) {
+                self.block_single::<P, S>(index as usize, set as usize, tag, sink);
+            } else {
+                self.block_run::<P, S>(set as usize, indices, run_tags, sink);
+            }
+        }
     }
 
     /// Probe-armed fallback: per-event order, via the exact entry

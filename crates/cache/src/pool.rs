@@ -66,8 +66,10 @@ thread_local! {
 
 /// A `u64` buffer of exactly `len` elements. Recycled buffers keep
 /// their previous contents; fresh ones are zeroed. Callers must not
-/// read elements they have not written.
-pub(crate) fn take_u64(len: usize) -> Box<[u64]> {
+/// read elements they have not written. Public so the streaming
+/// replay pipeline's chunk buffers flow through the same pool (and
+/// the same counters) as the kernel arrays.
+pub fn take_u64(len: usize) -> Box<[u64]> {
     match U64_POOL.with_borrow_mut(|pool| pool.get_mut(&len).and_then(Vec::pop)) {
         Some(buf) => {
             REUSES.fetch_add(1, Ordering::Relaxed);
@@ -81,7 +83,7 @@ pub(crate) fn take_u64(len: usize) -> Box<[u64]> {
 }
 
 /// A zeroed `u32` buffer of exactly `len` elements.
-pub(crate) fn take_u32_zeroed(len: usize) -> Box<[u32]> {
+pub fn take_u32_zeroed(len: usize) -> Box<[u32]> {
     match U32_POOL.with_borrow_mut(|pool| pool.get_mut(&len).and_then(Vec::pop)) {
         Some(mut buf) => {
             REUSES.fetch_add(1, Ordering::Relaxed);
@@ -96,7 +98,7 @@ pub(crate) fn take_u32_zeroed(len: usize) -> Box<[u32]> {
 }
 
 /// Returns a buffer taken with [`take_u64`] to the pool.
-pub(crate) fn recycle_u64(buf: Box<[u64]>) {
+pub fn recycle_u64(buf: Box<[u64]>) {
     if buf.is_empty() {
         return;
     }
@@ -110,7 +112,7 @@ pub(crate) fn recycle_u64(buf: Box<[u64]>) {
 }
 
 /// Returns a buffer taken with [`take_u32_zeroed`] to the pool.
-pub(crate) fn recycle_u32(buf: Box<[u32]>) {
+pub fn recycle_u32(buf: Box<[u32]>) {
     if buf.is_empty() {
         return;
     }

@@ -1,0 +1,199 @@
+//! Differential property tests for the set-partitioned replay path:
+//! [`SetAssocCache::access_partitioned`] must be observationally
+//! identical to per-event `probe_at` / `fill_at` replay — same
+//! per-event outcomes (scattered back to trace positions), same
+//! statistics, same final contents, same future victim choice — for
+//! geometries on both sides of [`cache_model::SORT_SLOT_THRESHOLD`]
+//! and all three replacement policies.
+//!
+//! The partition is built here with a naive stable sort, independent
+//! of `trace_gen::decomposed::PartitionedTrace`'s chunked
+//! implementation, so this file also serves as an oracle for the CSR
+//! layout contract [`SetRuns::new`] validates.
+
+use cache_model::{BlockOutcome, CacheGeometry, Replacement, SetAssocCache, SetRuns};
+use proptest::prelude::*;
+use sim_core::LineAddr;
+
+/// A small universe of line addresses guarantees set conflicts and
+/// repeated touches at every generated geometry.
+const LINE_UNIVERSE: u64 = 64;
+
+fn policy_from(index: u8) -> Replacement {
+    [Replacement::Lru, Replacement::Fifo, Replacement::Random][index as usize % 3]
+}
+
+fn geometry_from(sets_log: u32, assoc_log: u32) -> CacheGeometry {
+    let assoc = 1u32 << assoc_log;
+    let sets = 1u64 << sets_log;
+    CacheGeometry::new(sets * u64::from(assoc) * 64, assoc, 64).expect("power-of-two geometry")
+}
+
+/// Splits raw line addresses into the parallel `(set, tag)` arrays.
+fn decompose(geom: &CacheGeometry, raws: &[u64]) -> (Vec<u32>, Vec<u64>) {
+    raws.iter()
+        .map(|&raw| {
+            let line = LineAddr::new(raw);
+            (geom.set_index(line) as u32, geom.tag(line))
+        })
+        .unzip()
+}
+
+/// Per-event replay through the legacy entry points, recording the
+/// outcome the partitioned path must scatter back to each position.
+fn replay_per_event(
+    cache: &mut SetAssocCache<u32>,
+    sets: &[u32],
+    tags: &[u64],
+) -> Vec<BlockOutcome> {
+    sets.iter()
+        .zip(tags)
+        .map(|(&set, &tag)| {
+            if cache.probe_at(set as usize, tag).is_some() {
+                BlockOutcome::Hit
+            } else if cache.fill_at(set as usize, tag, 0).is_some() {
+                BlockOutcome::FilledEvicting
+            } else {
+                BlockOutcome::FilledEmpty
+            }
+        })
+        .collect()
+}
+
+/// The naive stable partition: sort event positions by set with a
+/// stable sort, then walk them building the CSR run directory
+/// `SetRuns` expects. Deliberately independent of the production
+/// chunked counting sort.
+fn naive_partition(sets: &[u32], tags: &[u64]) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u64>) {
+    let mut order: Vec<u32> = (0..sets.len() as u32).collect();
+    order.sort_by_key(|&i| sets[i as usize]);
+    let mut dir_sets = Vec::new();
+    let mut dir_starts = Vec::new();
+    let mut indices = Vec::with_capacity(order.len());
+    let mut run_tags = Vec::with_capacity(order.len());
+    for &i in &order {
+        let set = sets[i as usize];
+        if dir_sets.last() != Some(&set) {
+            dir_sets.push(set);
+            dir_starts.push(indices.len() as u32);
+        }
+        indices.push(i);
+        run_tags.push(tags[i as usize]);
+    }
+    dir_starts.push(indices.len() as u32);
+    (dir_sets, dir_starts, indices, run_tags)
+}
+
+/// Partitioned replay: build the run view, replay whole per-set runs,
+/// return the outcomes scattered back to original trace positions.
+fn replay_partitioned(
+    cache: &mut SetAssocCache<u32>,
+    sets: &[u32],
+    tags: &[u64],
+) -> Vec<BlockOutcome> {
+    let (dir_sets, dir_starts, indices, run_tags) = naive_partition(sets, tags);
+    let runs = SetRuns::new(&dir_sets, &dir_starts, &indices, &run_tags);
+    let mut outcomes = vec![BlockOutcome::Hit; sets.len()];
+    cache.access_partitioned(runs, &mut outcomes);
+    outcomes
+}
+
+/// Everything observable after replay must agree between the two
+/// caches: statistics, occupancy, resident lines with metadata in way
+/// order, and the victim each set would pick next.
+fn assert_equivalent(partitioned: &SetAssocCache<u32>, legacy: &SetAssocCache<u32>) {
+    assert_eq!(*partitioned.stats(), *legacy.stats());
+    assert_eq!(partitioned.len(), legacy.len());
+    let contents_part: Vec<(LineAddr, u32)> = partitioned.iter().map(|(l, m)| (l, *m)).collect();
+    let contents_legacy: Vec<(LineAddr, u32)> = legacy.iter().map(|(l, m)| (l, *m)).collect();
+    assert_eq!(contents_part, contents_legacy);
+    for raw in 0..LINE_UNIVERSE {
+        let line = LineAddr::new(raw);
+        assert_eq!(
+            partitioned.eviction_candidate(line),
+            legacy.eviction_candidate(line),
+            "post-replay victim prediction for {line} disagrees"
+        );
+    }
+}
+
+proptest! {
+    /// Below the sort threshold (where the experiment drivers keep
+    /// trace order, but the entry point must still be correct):
+    /// partitioned replay matches per-event replay under every
+    /// policy.
+    #[test]
+    fn partitioned_matches_per_event_below_threshold(
+        sets_log in 0u32..5,
+        assoc_log in 0u32..4,
+        policy_index in 0u8..3,
+        raws in prop::collection::vec(0u64..LINE_UNIVERSE, 1..400),
+    ) {
+        let geom = geometry_from(sets_log, assoc_log);
+        let policy = policy_from(policy_index);
+        let (sets, tags) = decompose(&geom, &raws);
+
+        let mut legacy: SetAssocCache<u32> = SetAssocCache::with_replacement(geom, policy);
+        let expected = replay_per_event(&mut legacy, &sets, &tags);
+
+        let mut partitioned: SetAssocCache<u32> = SetAssocCache::with_replacement(geom, policy);
+        let outcomes = replay_partitioned(&mut partitioned, &sets, &tags);
+
+        prop_assert_eq!(outcomes, expected);
+        assert_equivalent(&partitioned, &legacy);
+    }
+
+    /// Above the sort threshold (32 768 sets × 1–2 ways — the
+    /// MRC-scale geometry the partitioned path exists for). Raw
+    /// addresses are folded onto a handful of sets so the big
+    /// geometry still sees collisions, evictions, and full sets.
+    #[test]
+    fn partitioned_matches_per_event_above_threshold(
+        assoc_log in 0u32..2,
+        policy_index in 0u8..3,
+        raws in prop::collection::vec(0u64..LINE_UNIVERSE, 1..400),
+    ) {
+        let geom = geometry_from(15, assoc_log);
+        let policy = policy_from(policy_index);
+        let num_sets = 1u64 << 15;
+        // Map the 64-line universe onto 8 sets x 8 tags.
+        let folded: Vec<u64> = raws
+            .iter()
+            .map(|&raw| (raw % 8) + num_sets * (raw / 8))
+            .collect();
+        let (sets, tags) = decompose(&geom, &folded);
+
+        let mut legacy: SetAssocCache<u32> = SetAssocCache::with_replacement(geom, policy);
+        let expected = replay_per_event(&mut legacy, &sets, &tags);
+
+        let mut partitioned: SetAssocCache<u32> = SetAssocCache::with_replacement(geom, policy);
+        let outcomes = replay_partitioned(&mut partitioned, &sets, &tags);
+
+        prop_assert_eq!(outcomes, expected);
+        assert_equivalent(&partitioned, &legacy);
+    }
+
+    /// Mostly-singleton runs: spread addresses over many sets so most
+    /// runs hold exactly one event, exercising the single-event fast
+    /// path next to multi-event runs in the same replay.
+    #[test]
+    fn singleton_runs_match_per_event(
+        assoc_log in 0u32..3,
+        policy_index in 0u8..3,
+        raws in prop::collection::vec(0u64..1024, 1..300),
+    ) {
+        let geom = geometry_from(9, assoc_log);
+        let policy = policy_from(policy_index);
+        let (sets, tags) = decompose(&geom, &raws);
+
+        let mut legacy: SetAssocCache<u32> = SetAssocCache::with_replacement(geom, policy);
+        let expected = replay_per_event(&mut legacy, &sets, &tags);
+
+        let mut partitioned: SetAssocCache<u32> = SetAssocCache::with_replacement(geom, policy);
+        let outcomes = replay_partitioned(&mut partitioned, &sets, &tags);
+
+        prop_assert_eq!(outcomes, expected);
+        assert_eq!(*partitioned.stats(), *legacy.stats());
+        assert_eq!(partitioned.len(), legacy.len());
+    }
+}

@@ -198,7 +198,71 @@ impl<T: EvictionClassifier> AccuracyEvaluator<T> {
         // out for the duration of the cache pass.
         let mut classes = std::mem::take(&mut self.classes);
         self.cache.access_parts_block(sets, tags, &mut classes);
-        for (&oracle_conflict, &class) in self.oracle_conflict.iter().zip(&classes) {
+        self.classes = classes;
+        self.merge_oracle_and_classes();
+    }
+
+    /// Observes a whole set-partitioned trace
+    /// ([`Self::observe_parts`] in bulk — the decompose-time-sorted
+    /// replay path).
+    ///
+    /// `sets`/`tags` are the trace-order arrays (the oracle's shadow
+    /// fully-associative cache is globally order-sensitive, so it
+    /// replays them sequentially first); `runs` is the same trace
+    /// regrouped by set, which the MCT cache consumes run-by-run
+    /// ([`ClassifyingCache::access_parts_partitioned`]) with results
+    /// scattered back to trace order through the stored original
+    /// indices. The merged report is identical to per-event replay.
+    ///
+    /// With a probe sink armed the whole trace falls back to
+    /// per-event [`Self::observe_parts`] over the trace-order arrays
+    /// (partitioned replay cannot reproduce the per-event probe
+    /// stream), so emitted events stay byte-identical to unbatched
+    /// replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace-order arrays and `runs` disagree in
+    /// length, or a set index is out of range for the geometry.
+    pub fn observe_partitioned(
+        &mut self,
+        sets: &[u32],
+        tags: &[u64],
+        runs: cache_model::SetRuns<'_>,
+    ) {
+        assert_eq!(sets.len(), tags.len(), "sets/tags length mismatch");
+        assert_eq!(
+            sets.len(),
+            runs.len(),
+            "trace-order arrays and partitioned runs disagree in length"
+        );
+        if probe::active() {
+            for (&set, &tag) in sets.iter().zip(tags) {
+                self.observe_parts(set as usize, tag);
+            }
+            return;
+        }
+        let geom = *self.cache.geometry();
+        self.report.accesses += sets.len() as u64;
+        self.oracle_conflict.clear();
+        for (&set, &tag) in sets.iter().zip(tags) {
+            let line = geom.line_from_parts(tag, set as usize);
+            self.oracle_conflict
+                .push(self.oracle.observe(line).is_conflict());
+        }
+        self.classes.clear();
+        self.classes.resize(sets.len(), BlockClass::Hit);
+        // Same borrow split as `observe_block`.
+        let mut classes = std::mem::take(&mut self.classes);
+        self.cache.access_parts_partitioned(runs, &mut classes);
+        self.classes = classes;
+        self.merge_oracle_and_classes();
+    }
+
+    /// Merges the scratch oracle flags and MCT classifications —
+    /// parallel arrays in trace order — into the report.
+    fn merge_oracle_and_classes(&mut self) {
+        for (&oracle_conflict, &class) in self.oracle_conflict.iter().zip(&self.classes) {
             if class == BlockClass::Hit {
                 continue;
             }
@@ -217,7 +281,6 @@ impl<T: EvictionClassifier> AccuracyEvaluator<T> {
                 self.report.capacity.record(agree);
             }
         }
-        self.classes = classes;
     }
 
     /// Observes a whole stream.

@@ -1,7 +1,7 @@
 //! A set-associative cache with an attached Miss Classification Table
 //! and per-line conflict bits.
 
-use cache_model::{BlockSink, CacheGeometry, CacheStats, SetAssocCache};
+use cache_model::{BlockSink, CacheGeometry, CacheStats, SetAssocCache, SetRuns};
 use sim_core::probe;
 use sim_core::LineAddr;
 
@@ -277,6 +277,35 @@ impl<T: EvictionClassifier> ClassifyingCache<T> {
             out,
         };
         self.cache.access_block_with(sets, tags, &mut sink);
+    }
+
+    /// Replays a whole set-partitioned trace
+    /// ([`cache_model::SetRuns`]), scattering each event's
+    /// classification into `out` by *original trace index*.
+    ///
+    /// Equivalent to [`Self::access_parts`] per event in trace order:
+    /// the kernel consumes presorted per-set runs directly
+    /// ([`SetAssocCache::access_partitioned_with`]) and the MCT
+    /// protocol — classify against pre-fill state, record every
+    /// eviction — is per-set, so run order cannot change any
+    /// classification. Partitioned replay cannot reproduce a
+    /// per-event probe stream; callers must fall back to trace-order
+    /// replay while a probe sink is armed (this cache always reports
+    /// set probes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the trace or a set index is
+    /// out of range for the geometry.
+    pub fn access_parts_partitioned(&mut self, runs: SetRuns<'_>, out: &mut [BlockClass]) {
+        assert_eq!(runs.len(), out.len(), "runs/out length mismatch");
+        let mut sink = MctSink {
+            table: &mut self.table,
+            conflict_misses: &mut self.conflict_misses,
+            capacity_misses: &mut self.capacity_misses,
+            out,
+        };
+        self.cache.access_partitioned_with(runs, &mut sink);
     }
 
     /// Classifies a miss on `line` without changing any state.

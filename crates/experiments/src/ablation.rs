@@ -87,7 +87,7 @@ fn depth_sweep(events: usize) -> Vec<DepthPoint> {
                 || {
                     let dir = ShadowDirectory::new(geom.num_sets(), TagBits::Full, depth);
                     let mut eval = AccuracyEvaluator::with_classifier(geom, dir);
-                    let trace = crate::decomposed_for(&w, &geom, events);
+                    let trace = crate::replay_for(&w, &geom, events);
                     crate::telemetry::record_events(events as u64);
                     crate::replay_accuracy(&trace, &mut eval);
                     eval.finish()
@@ -114,9 +114,8 @@ fn window_sweep(events: usize) -> Vec<WindowPoint> {
         let mut mean = GeoMean::default();
         for w in &benchmarks {
             let run = |sys: &mut dyn cpu_model::MemorySystem| {
-                let trace = crate::trace_for(w, events);
                 crate::telemetry::record_events(events as u64);
-                cpu.run(&mut &mut *sys, trace.iter().copied())
+                cpu.run(&mut &mut *sys, crate::events_for(w, crate::SEED, events))
             };
             let mut base = BaselineSystem::paper_default().expect("paper config");
             let base_report = crate::probe::cell(
@@ -170,9 +169,8 @@ fn buffer_sweep(events: usize) -> Vec<BufferPoint> {
                         ..AmbConfig::new(AmbPolicy::VicPreExc)
                     };
                     let mut sys = AmbSystem::paper_default(cfg).expect("paper config");
-                    let trace = crate::trace_for(w, events);
                     crate::telemetry::record_events(events as u64);
-                    cpu.run(&mut sys, trace.iter().copied())
+                    cpu.run(&mut sys, crate::events_for(w, crate::SEED, events))
                 },
             );
             mean.push(report.speedup_over(base));

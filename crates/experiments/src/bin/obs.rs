@@ -7,14 +7,17 @@
 //! obs flame FILE
 //! obs phases FILE
 //! obs verify-trace FILE
-//! obs diff OLD.json NEW.json
+//! obs diff [--fail-above PCT] OLD.json NEW.json
 //! ```
 //!
 //! `summarize` renders per-cell miss/conflict/accuracy summaries for a
 //! probe file. `timeline`, `flame`, and `phases` render per-worker
 //! lanes, folded flamegraph stacks, and a per-phase time/throughput
 //! table for a span trace; `verify-trace` checks a trace's structural
-//! invariants. `diff` compares two `bench-repro` throughput files. All
+//! invariants. `diff` compares two `bench-repro` throughput files —
+//! with `--fail-above PCT` it exits non-zero when total events/s
+//! regressed by more than PCT percent, which is how CI gates
+//! throughput (see BENCHMARKS.md for the baseline-refresh workflow). All
 //! logic lives in [`experiments::obs`] and [`experiments::traceview`];
 //! this binary only parses arguments and does I/O.
 
@@ -37,6 +40,8 @@ fn usage() -> ExitCode {
          phases FILE      total/self time, call count, events/s per phase\n\
          verify-trace FILE  check a span trace's structural invariants\n\
          diff OLD NEW     per-figure events/s delta between two bench files\n\
+         \u{20}  --fail-above PCT  exit non-zero if total events/s regressed\n\
+         \u{20}                 by more than PCT percent (the CI gate)\n\
          \n\
          Probe files come from `repro --probe epoch:N --probe-out FILE`;\n\
          span traces from `repro --trace-out FILE`; bench files are the\n\
@@ -87,23 +92,71 @@ fn one_file(
     f(&read(&file)?)
 }
 
-fn diff_cmd(mut args: std::vec::IntoIter<String>) -> Result<String, String> {
-    let old = args.next().ok_or("diff needs OLD and NEW bench files")?;
-    let new = args.next().ok_or("diff needs OLD and NEW bench files")?;
-    if let Some(extra) = args.next() {
-        return Err(format!("unexpected argument: {extra}"));
-    }
-    traceview::diff(&read(&old)?, &read(&new)?)
+/// A command's result: the report to print, plus an optional gate
+/// verdict (`obs diff --fail-above`) that turns a printed report into
+/// a non-zero exit.
+struct Output {
+    report: String,
+    gate_failure: Option<String>,
 }
 
-fn run(args: Vec<String>) -> Result<String, String> {
+impl Output {
+    fn pass(report: String) -> Self {
+        Output {
+            report,
+            gate_failure: None,
+        }
+    }
+}
+
+fn diff_cmd(args: std::vec::IntoIter<String>) -> Result<Output, String> {
+    let mut fail_above: Option<f64> = None;
+    let mut files = Vec::new();
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fail-above" => {
+                let value = args.next().ok_or("--fail-above needs a percentage")?;
+                let pct: f64 = value
+                    .parse()
+                    .map_err(|_| format!("--fail-above needs a percentage, got `{value}`"))?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err(format!("--fail-above must be non-negative, got `{value}`"));
+                }
+                fail_above = Some(pct);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown flag: {other}")),
+            other => files.push(other.to_owned()),
+        }
+    }
+    let [old, new] = files.as_slice() else {
+        return Err("diff needs OLD and NEW bench files".to_owned());
+    };
+    let report = traceview::diff_report(&read(old)?, &read(new)?)?;
+    let gate_failure = match (fail_above, report.total_delta_pct) {
+        (Some(threshold), Some(delta)) if delta < -threshold => Some(format!(
+            "total events/s regressed {:.1}% (gate: {threshold}%); if the slowdown is \
+             justified, regenerate the baseline per BENCHMARKS.md",
+            -delta
+        )),
+        (Some(_), None) => Some("cannot gate: bench files lack comparable totals".to_owned()),
+        _ => None,
+    };
+    Ok(Output {
+        report: report.table,
+        gate_failure,
+    })
+}
+
+fn run(args: Vec<String>) -> Result<Output, String> {
     let mut args = args.into_iter();
     match args.next().as_deref() {
-        Some("summarize") => summarize_cmd(args),
-        Some("timeline") => one_file(args, "trace file", traceview::timeline),
-        Some("flame") => one_file(args, "trace file", traceview::flame),
-        Some("phases") => one_file(args, "trace file", traceview::phases),
-        Some("verify-trace") => one_file(args, "trace file", traceview::verify),
+        Some("summarize") => summarize_cmd(args).map(Output::pass),
+        Some("timeline") => one_file(args, "trace file", traceview::timeline).map(Output::pass),
+        Some("flame") => one_file(args, "trace file", traceview::flame).map(Output::pass),
+        Some("phases") => one_file(args, "trace file", traceview::phases).map(Output::pass),
+        Some("verify-trace") => one_file(args, "trace file", traceview::verify).map(Output::pass),
         Some("diff") => diff_cmd(args),
         Some("--help" | "-h") => Err(String::new()),
         Some(other) => Err(format!("unknown command: {other}")),
@@ -113,9 +166,15 @@ fn run(args: Vec<String>) -> Result<String, String> {
 
 fn main() -> ExitCode {
     match run(env::args().skip(1).collect()) {
-        Ok(report) => {
-            print!("{report}");
-            ExitCode::SUCCESS
+        Ok(output) => {
+            print!("{}", output.report);
+            match output.gate_failure {
+                None => ExitCode::SUCCESS,
+                Some(msg) => {
+                    eprintln!("obs: {msg}");
+                    ExitCode::from(2)
+                }
+            }
         }
         Err(msg) => {
             if !msg.is_empty() {

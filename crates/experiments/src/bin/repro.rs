@@ -2,7 +2,7 @@
 //! the paper's evaluation.
 //!
 //! ```text
-//! repro [--events N] [--threads N] [--bench-json PATH]
+//! repro [--events N] [--threads N] [--bench-json PATH] [--stream]
 //!       [--probe epoch:N|raw] [--probe-out PATH]
 //!       [--trace-out PATH [--trace-format jsonl|chrome] [--trace-logical-clock]]
 //!       [--fault SEED:RATE [--fault-persistent]]
@@ -42,7 +42,7 @@ const CRASH_EXIT: i32 = 3;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--events N] [--threads N] [--bench-json PATH] \
-         [--block-size N] [--probe epoch:N|raw] [--probe-out PATH] \
+         [--block-size N] [--stream] [--probe epoch:N|raw] [--probe-out PATH] \
          [--trace-out PATH] [--trace-format jsonl|chrome] [--trace-logical-clock] \
          [--fault SEED:RATE] [--fault-persistent] \
          [--checkpoint PATH] [--resume] [--crash-after N] \
@@ -53,6 +53,8 @@ fn usage() -> ExitCode {
          --bench-json P   write machine-readable throughput telemetry to P\n\
          --block-size N   event-block size for decomposed replay (default {};\n\
          \u{20}                1 = per-event replay)\n\
+         --stream         chunked generator replay, O(chunk) memory per cell\n\
+         \u{20}                (bypasses the trace arenas; output is byte-identical)\n\
          --probe MODE     collect per-cell probe data: epoch:N (fold into\n\
          \u{20}                epochs of N accesses) or raw (every event; small runs)\n\
          --probe-out P    probe JSONL path (default OBS_repro.jsonl); inspect\n\
@@ -102,6 +104,7 @@ fn main() -> ExitCode {
     }
     experiments::probe::configure(opts.probe);
     experiments::set_replay_block_size(opts.block_size);
+    experiments::set_stream_mode(opts.stream);
     if opts.trace_out.is_some() {
         tracing::arm(opts.trace_logical_clock);
     }
@@ -284,13 +287,14 @@ fn main() -> ExitCode {
     // schema is pinned by goldens, so the knob is recorded here (and
     // in EXPERIMENTS.md) rather than in the JSON.
     eprintln!(
-        "[bench] replay block size {}{}",
+        "[bench] replay block size {}{}{}",
         opts.block_size,
         if opts.block_size == 1 {
             " (per-event)"
         } else {
             ""
         },
+        if opts.stream { ", streaming" } else { "" },
     );
     eprintln!(
         "[bench] total    {:>8.2}s  {:.1}M events/s  ({} events, {} worker threads)",

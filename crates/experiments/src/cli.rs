@@ -207,6 +207,9 @@ pub struct Options {
     /// `--trace-logical-clock`: record spans with a constant-zero
     /// clock so the trace is byte-identical at any thread count.
     pub trace_logical_clock: bool,
+    /// `--stream`: chunked generator replay with O(chunk) memory
+    /// instead of arena-resident traces; output is byte-identical.
+    pub stream: bool,
     /// Targets to run, in order.
     pub targets: Vec<Target>,
 }
@@ -234,6 +237,7 @@ where
     let mut trace_out: Option<PathBuf> = None;
     let mut trace_format: Option<TraceFormat> = None;
     let mut trace_logical_clock = false;
+    let mut stream = false;
     let mut targets = Vec::new();
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -317,6 +321,7 @@ where
                 trace_format = Some(TraceFormat::parse(&value)?);
             }
             "--trace-logical-clock" => trace_logical_clock = true,
+            "--stream" => stream = true,
             "--help" | "-h" => return Err(String::new()),
             "all" => targets.extend(Target::ALL),
             other if other.starts_with('-') => {
@@ -373,6 +378,7 @@ where
         trace_out,
         trace_format: trace_format.unwrap_or(TraceFormat::Jsonl),
         trace_logical_clock,
+        stream,
         targets,
     })
 }
@@ -454,6 +460,18 @@ mod tests {
         assert!(err.contains("at least 1"), "{err}");
         assert!(parse(&["--block-size", "big"]).is_err());
         assert!(parse(&["--block-size"]).is_err());
+    }
+
+    #[test]
+    fn parses_stream_flag() {
+        assert!(!parse(&[]).unwrap().stream);
+        let opts = parse(&["--stream", "fig1"]).unwrap();
+        assert!(opts.stream);
+        assert_eq!(opts.targets, vec![Target::Fig1]);
+        // Composes with the other replay knobs.
+        let opts = parse(&["--stream", "--block-size", "256"]).unwrap();
+        assert!(opts.stream);
+        assert_eq!(opts.block_size, 256);
     }
 
     #[test]

@@ -54,9 +54,8 @@ fn drive_slow_bus<M: cpu_model::MemorySystem>(
     events: usize,
 ) -> CpuReport {
     let cpu = OooModel::new(CpuConfig::paper_default());
-    let trace = crate::trace_for(workload, events);
     crate::telemetry::record_events(events as u64);
-    cpu.run(system, trace.iter().copied())
+    cpu.run(system, crate::events_for(workload, crate::SEED, events))
 }
 
 /// Trace events this figure simulates: the no-prefetch baseline plus

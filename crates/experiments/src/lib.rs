@@ -22,10 +22,14 @@
 //! traces are materialized once per `(workload, seed, events)` in the
 //! shared [`trace_gen::arena`] — see [`trace_for`] — and replayed by
 //! every cell, so no driver pays trace synthesis more than once. The
-//! accuracy figures go one step further with [`decomposed_for`]: the
+//! accuracy figures go one step further with [`replay_for`]: the
 //! per-event `(set, tag)` split is precomputed once per (workload,
-//! geometry) and streamed straight into the cache kernel's `*_at`
-//! entry points.
+//! geometry) — set-partitioned at decomposition time on geometries
+//! past the kernel's sort threshold — and streamed into the cache
+//! kernel's batched entry points. Under `repro --stream`
+//! ([`set_stream_mode`]) drivers bypass the arenas entirely and pipe
+//! generators through a chunked O([`STREAM_CHUNK`])-memory pipeline
+//! with byte-identical output.
 //!
 //! Every driver takes the number of trace events per workload, so the
 //! same code serves quick smoke tests, Criterion benches, and the full
@@ -67,12 +71,12 @@ pub mod tracing;
 
 pub use table::Table;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use cache_model::CacheGeometry;
 use trace_gen::arena::{ArenaKey, TraceArena};
-use trace_gen::decomposed::{DecomposedArena, DecomposedTrace};
+use trace_gen::decomposed::{DecomposedArena, DecomposedTrace, PartitionedTrace};
 use trace_gen::TraceEvent;
 
 /// Default events per workload for full experiment runs.
@@ -100,26 +104,200 @@ pub fn replay_block_size() -> usize {
     REPLAY_BLOCK.load(Ordering::Relaxed)
 }
 
+/// Whether drivers stream workload generators chunk-by-chunk instead
+/// of materializing whole traces in the arenas (`repro --stream`).
+static STREAM: AtomicBool = AtomicBool::new(false);
+
+/// Selects streaming replay (`repro --stream`): drivers pipe each
+/// workload generator through a chunked generate → decompose → kernel
+/// pipeline with O([`STREAM_CHUNK`]) memory, bypassing the trace and
+/// decomposition arenas entirely. Output is byte-identical to arena
+/// replay at any thread count — both replay the same generator stream
+/// through the same kernels — only residency changes.
+pub fn set_stream_mode(stream: bool) {
+    STREAM.store(stream, Ordering::Relaxed);
+}
+
+/// Whether streaming replay is selected.
+#[must_use]
+pub fn stream_mode() -> bool {
+    STREAM.load(Ordering::Relaxed)
+}
+
+/// Events per chunk of the streaming pipeline: the generator fills
+/// one `(set, tag)` chunk, the kernel replays it in
+/// [`replay_block_size`] blocks, and the buffers are reused — peak
+/// memory is O(chunk) per cell regardless of trace length. Chunk
+/// boundaries cannot change results (block replay is
+/// boundary-insensitive by the differential equivalence the block
+/// kernel is tested for).
+pub const STREAM_CHUNK: usize = 64 * 1024;
+
+/// One accuracy driver's replay input: either arena-resident forms
+/// (trace order, plus the set-partitioned form when the geometry
+/// clears the sort threshold) or a streamed generator.
+#[derive(Debug, Clone)]
+pub enum ReplayTrace {
+    /// Arena-memoized forms, shared across cells.
+    Arena {
+        /// Trace-order `(set, tag)` arrays.
+        trace: Arc<DecomposedTrace>,
+        /// The decompose-time set-partitioned form, present only when
+        /// the geometry is past
+        /// [`cache_model::SORT_SLOT_THRESHOLD`] (cache-resident
+        /// geometries replay faster in trace order).
+        partitioned: Option<Arc<PartitionedTrace>>,
+    },
+    /// Chunked generator replay (`repro --stream`): nothing resident
+    /// beyond one chunk.
+    Stream {
+        /// The workload whose generator is streamed.
+        workload: workloads::Workload,
+        /// Geometry the chunks are decomposed against.
+        geom: CacheGeometry,
+        /// Total events to stream.
+        events: usize,
+    },
+}
+
+impl ReplayTrace {
+    /// Total events this input replays.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            ReplayTrace::Arena { trace, .. } => trace.len(),
+            ReplayTrace::Stream { events, .. } => *events,
+        }
+    }
+
+    /// `true` if there are no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The replay input for `(workload, SEED, events)` against `geom`:
+/// the arena-memoized decomposed trace — plus the set-partitioned
+/// form when `geom` is past [`cache_model::SORT_SLOT_THRESHOLD`] and
+/// block replay is enabled — or a streamed generator under
+/// [`stream_mode`]. This is what fig1, fig2 and the shadow-depth
+/// ablation feed [`replay_accuracy`].
+#[must_use]
+pub fn replay_for(
+    workload: &workloads::Workload,
+    geom: &CacheGeometry,
+    events: usize,
+) -> ReplayTrace {
+    if stream_mode() {
+        return ReplayTrace::Stream {
+            workload: *workload,
+            geom: *geom,
+            events,
+        };
+    }
+    let trace = decomposed_for(workload, geom, events);
+    let partitioned = (replay_block_size() > 1
+        && geom.num_lines() > cache_model::SORT_SLOT_THRESHOLD)
+        .then(|| {
+            DecomposedArena::global().get_or_partition(
+                ArenaKey::new(workload.name(), SEED, events),
+                geom.line_size(),
+                geom.set_bits(),
+                || trace_for(workload, events),
+            )
+        });
+    ReplayTrace::Arena { trace, partitioned }
+}
+
 /// The shared replay loop of the accuracy drivers (fig1, fig2, the
-/// shadow-depth ablation): streams a decomposed trace through an
-/// [`mct::accuracy::AccuracyEvaluator`] in event blocks of
-/// [`replay_block_size`] pairs, falling back to the per-event loop at
-/// block size 1. Results are identical at every block size (the block
-/// kernel is differential-tested against per-event replay); the block
-/// path exists purely for throughput.
+/// shadow-depth ablation): streams the replay input through an
+/// [`mct::accuracy::AccuracyEvaluator`].
+///
+/// Arena inputs replay in event blocks of [`replay_block_size`]
+/// pairs (per-event loop at block size 1); past-threshold geometries
+/// carry the decompose-time set-partitioned form and replay whole
+/// per-set runs with no per-block sorting. Stream inputs run the
+/// chunked generator pipeline. Results are identical on every path
+/// (each is differential-tested against per-event replay); the
+/// variants exist purely for throughput and memory. When a probe
+/// sink is armed, every path falls back to per-event trace order so
+/// the emitted event stream is byte-identical to unbatched replay.
 pub fn replay_accuracy<T: mct::EvictionClassifier>(
-    trace: &DecomposedTrace,
+    trace: &ReplayTrace,
     eval: &mut mct::accuracy::AccuracyEvaluator<T>,
 ) {
     let block = replay_block_size();
-    if block <= 1 {
-        let _span = sim_core::span::enter("replay_events");
-        sim_core::span::add_events(trace.len() as u64);
-        trace.for_each(|set, tag| eval.observe_parts(set, tag));
-    } else {
-        let _span = sim_core::span::enter("replay_block");
-        sim_core::span::add_events(trace.len() as u64);
-        trace.for_each_block(block, |sets, tags| eval.observe_block(sets, tags));
+    match trace {
+        ReplayTrace::Arena { trace, partitioned } => {
+            if let Some(part) = partitioned {
+                if !sim_core::probe::active() {
+                    let _span = sim_core::span::enter("replay_partitioned");
+                    sim_core::span::add_events(trace.len() as u64);
+                    let runs = cache_model::SetRuns::new(
+                        part.dir_sets(),
+                        part.dir_starts(),
+                        part.indices(),
+                        part.tags(),
+                    );
+                    eval.observe_partitioned(trace.sets(), trace.tags(), runs);
+                    return;
+                }
+                // Armed probes need per-event trace order; fall
+                // through to the trace-order paths below.
+            }
+            if block <= 1 {
+                let _span = sim_core::span::enter("replay_events");
+                sim_core::span::add_events(trace.len() as u64);
+                trace.for_each(|set, tag| eval.observe_parts(set, tag));
+            } else {
+                let _span = sim_core::span::enter("replay_block");
+                sim_core::span::add_events(trace.len() as u64);
+                trace.for_each_block(block, |sets, tags| eval.observe_block(sets, tags));
+            }
+        }
+        ReplayTrace::Stream {
+            workload,
+            geom,
+            events,
+        } => {
+            let _span = sim_core::span::enter("replay_stream");
+            sim_core::span::add_events(*events as u64);
+            let mut source = workload.source(SEED);
+            let line_size = geom.line_size();
+            let set_bits = geom.set_bits();
+            let mask = (1u64 << set_bits) - 1;
+            let mut left = *events;
+            if left == 0 {
+                return;
+            }
+            // Chunk buffers come from (and return to) the kernel's
+            // buffer pool, so streaming traffic shows up in the same
+            // `trace-repro/1` pool counters as the kernel arrays.
+            let chunk = STREAM_CHUNK.min(left);
+            let mut sets = cache_model::pool::take_u32_zeroed(chunk);
+            let mut tags = cache_model::pool::take_u64(chunk);
+            while left > 0 {
+                let n = chunk.min(left);
+                for i in 0..n {
+                    let line = source.next_event().access.addr.line(line_size).raw();
+                    sets[i] = (line & mask) as u32;
+                    tags[i] = line >> set_bits;
+                }
+                if block <= 1 {
+                    for (&set, &tag) in sets[..n].iter().zip(&tags[..n]) {
+                        eval.observe_parts(set as usize, tag);
+                    }
+                } else {
+                    for (s, t) in sets[..n].chunks(block).zip(tags[..n].chunks(block)) {
+                        eval.observe_block(s, t);
+                    }
+                }
+                left -= n;
+            }
+            cache_model::pool::recycle_u32(sets);
+            cache_model::pool::recycle_u64(tags);
+        }
     }
 }
 
@@ -157,9 +335,62 @@ pub fn trace_for_seed(
     seed: u64,
     events: usize,
 ) -> Arc<[TraceEvent]> {
+    if stream_mode() {
+        // Streaming runs keep nothing resident past the caller: the
+        // trace is materialized transiently and dropped with the last
+        // `Arc` instead of living in the process-wide arena. (Used by
+        // the few drivers whose models need random access — §5.6's
+        // SMT pairings replay each trace several times.)
+        let mut source = workload.source(seed);
+        return (0..events).map(|_| source.next_event()).collect();
+    }
     TraceArena::global().get_or_materialize(ArenaKey::new(workload.name(), seed, events), || {
         workload.source(seed)
     })
+}
+
+/// A single-pass event source for the CPU-model drivers: either a
+/// window into an arena-resident trace or a live generator capped at
+/// `events`. Both yield the identical event sequence (arena replay is
+/// bit-identical to the generator by construction), so sweep output
+/// does not depend on which variant ran.
+pub(crate) enum EventStream {
+    /// Arena-resident trace, replayed by reference.
+    Arena(Arc<[TraceEvent]>, usize),
+    /// Live generator, `events` remaining.
+    Gen(Box<dyn trace_gen::TraceSource>, usize),
+}
+
+impl Iterator for EventStream {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        match self {
+            EventStream::Arena(trace, pos) => {
+                let event = trace.get(*pos).copied();
+                *pos += 1;
+                event
+            }
+            EventStream::Gen(source, left) => {
+                if *left == 0 {
+                    return None;
+                }
+                *left -= 1;
+                Some(source.next_event())
+            }
+        }
+    }
+}
+
+/// The event stream for `(workload, seed, events)`: arena-backed
+/// normally, a live generator under [`stream_mode`] (O(1) memory —
+/// nothing is materialized at all for single-pass consumers).
+pub(crate) fn events_for(workload: &workloads::Workload, seed: u64, events: usize) -> EventStream {
+    if stream_mode() {
+        EventStream::Gen(workload.source(seed), events)
+    } else {
+        EventStream::Arena(trace_for_seed(workload, seed, events), 0)
+    }
 }
 
 /// The shared trace for `(workload, SEED, events)` split into per-event
@@ -192,9 +423,8 @@ pub(crate) fn drive<M: cpu_model::MemorySystem>(
     events: usize,
 ) -> cpu_model::CpuReport {
     let cpu = cpu_model::OooModel::new(cpu_model::CpuConfig::paper_default());
-    let trace = trace_for(workload, events);
     telemetry::record_events(events as u64);
-    cpu.run(system, trace.iter().copied())
+    cpu.run(system, events_for(workload, SEED, events))
 }
 
 #[cfg(test)]

@@ -409,6 +409,20 @@ fn bench_total(doc: &Value) -> Option<f64> {
     doc.get("total")?.get("events_per_sec")?.as_f64()
 }
 
+/// A bench comparison: the rendered per-figure table plus the total
+/// events/s delta the CI regression gate (`obs diff --fail-above`)
+/// judges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// The per-figure delta table [`diff`] renders.
+    pub table: String,
+    /// Total events/s change in percent (`new / old - 1`, × 100), or
+    /// `None` when either report lacks a positive total. Per-figure
+    /// rows stay informational — single figures are too noisy on
+    /// shared CI boxes to gate on; the whole-sweep total is stable.
+    pub total_delta_pct: Option<f64>,
+}
+
 /// Renders the per-figure events/s delta table between two
 /// `bench-repro/2` documents (`obs diff OLD.json NEW.json`) — the
 /// tested replacement for the CI bench step's sed/awk pipeline.
@@ -417,6 +431,16 @@ fn bench_total(doc: &Value) -> Option<f64> {
 ///
 /// Either document failing to parse as a bench report.
 pub fn diff(old_text: &str, new_text: &str) -> Result<String, String> {
+    diff_report(old_text, new_text).map(|report| report.table)
+}
+
+/// [`diff`] plus the machine-readable total delta (see
+/// [`DiffReport`]).
+///
+/// # Errors
+///
+/// Either document failing to parse as a bench report.
+pub fn diff_report(old_text: &str, new_text: &str) -> Result<DiffReport, String> {
     let old = jsonl::parse(old_text).map_err(|e| format!("old bench file: {e}"))?;
     let new = jsonl::parse(new_text).map_err(|e| format!("new bench file: {e}"))?;
     for (doc, which) in [(&old, "old"), (&new, "new")] {
@@ -444,10 +468,18 @@ pub fn diff(old_text: &str, new_text: &str) -> Result<String, String> {
     for (name, new_rate) in bench_figures(&new)? {
         row(&name, old_figs.get(&name).copied(), new_rate);
     }
+    let mut total_delta_pct = None;
     if let Some(new_total) = bench_total(&new) {
-        row("total", bench_total(&old), new_total);
+        let old_total = bench_total(&old);
+        row("total", old_total, new_total);
+        total_delta_pct = old_total
+            .filter(|&o| o > 0.0)
+            .map(|o| (new_total / o - 1.0) * 100.0);
     }
-    Ok(out)
+    Ok(DiffReport {
+        table: out,
+        total_delta_pct,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,99 @@
+//! The PR's two replay-mode guarantees, end to end:
+//!
+//! * **stream vs arena** — `repro --stream` pipes each workload
+//!   generator through the chunked constant-memory pipeline and must
+//!   render figure reports byte-identical to arena replay, at any
+//!   worker-thread count;
+//! * **partitioned vs trace order** — above
+//!   [`cache_model::SORT_SLOT_THRESHOLD`] the drivers replay the
+//!   memoized set-partitioned form, which must produce the exact
+//!   accuracy report of per-event trace-order replay.
+//!
+//! Everything lives in ONE `#[test]` because stream mode
+//! ([`experiments::set_stream_mode`]) and the worker-thread cap
+//! ([`sim_core::parallel::set_max_threads`]) are process-global:
+//! separate tests would race on them.
+
+use cache_model::CacheGeometry;
+use experiments::cli::Target;
+use mct::accuracy::AccuracyEvaluator;
+use mct::TagBits;
+
+#[test]
+fn stream_and_partitioned_replay_match_arena_trace_order() {
+    const EVENTS: usize = 3_000;
+
+    // Arena-mode reference reports, serial.
+    sim_core::parallel::set_max_threads(1);
+    assert!(!experiments::stream_mode(), "stream mode must default off");
+    let fig1_arena = Target::Fig1.run(EVENTS);
+    let fig2_arena = Target::Fig2.run(EVENTS);
+
+    // Streaming replay, serial: byte-identical reports.
+    experiments::set_stream_mode(true);
+    let fig1_stream = Target::Fig1.run(EVENTS);
+    let fig2_stream = Target::Fig2.run(EVENTS);
+    assert_eq!(
+        fig1_arena, fig1_stream,
+        "fig1 must be bit-for-bit identical arena vs stream (1 thread)"
+    );
+    assert_eq!(
+        fig2_arena, fig2_stream,
+        "fig2 must be bit-for-bit identical arena vs stream (1 thread)"
+    );
+
+    // Streaming replay on worker threads: still byte-identical.
+    sim_core::parallel::set_max_threads(4);
+    let fig1_stream4 = Target::Fig1.run(EVENTS);
+    assert_eq!(
+        fig1_arena, fig1_stream4,
+        "fig1 must be bit-for-bit identical arena vs stream (4 threads)"
+    );
+    experiments::set_stream_mode(false);
+    sim_core::parallel::set_max_threads(0);
+
+    // A streamed trace longer than one chunk exercises torn chunk
+    // boundaries in the pipeline itself (not just the figure sweep).
+    let big = experiments::STREAM_CHUNK + 1_537;
+    let w = workloads::by_name("gcc").expect("gcc analog exists");
+    let geom = CacheGeometry::new(16 * 1024, 2, 32).unwrap();
+    let mut reference = AccuracyEvaluator::new(geom, TagBits::Low(8));
+    let arena_trace = experiments::replay_for(&w, &geom, big);
+    experiments::replay_accuracy(&arena_trace, &mut reference);
+    experiments::set_stream_mode(true);
+    let stream_trace = experiments::replay_for(&w, &geom, big);
+    let mut streamed = AccuracyEvaluator::new(geom, TagBits::Low(8));
+    experiments::replay_accuracy(&stream_trace, &mut streamed);
+    experiments::set_stream_mode(false);
+    assert_eq!(
+        reference.report(),
+        streamed.report(),
+        "chunked streaming must match arena replay across chunk seams"
+    );
+
+    // Above the sort threshold `replay_for` hands back the memoized
+    // partitioned form; its report must equal per-event trace-order
+    // replay of the same decomposed trace.
+    let mrc_geom = CacheGeometry::new(4 * 1024 * 1024, 2, 64).unwrap();
+    assert!(mrc_geom.num_lines() > cache_model::SORT_SLOT_THRESHOLD);
+    let replay = experiments::replay_for(&w, &mrc_geom, EVENTS);
+    match &replay {
+        experiments::ReplayTrace::Arena { partitioned, .. } => {
+            assert!(
+                partitioned.is_some(),
+                "above-threshold geometry must carry the partitioned form"
+            );
+        }
+        experiments::ReplayTrace::Stream { .. } => panic!("arena mode expected"),
+    }
+    let mut via_partitioned = AccuracyEvaluator::new(mrc_geom, TagBits::Low(8));
+    experiments::replay_accuracy(&replay, &mut via_partitioned);
+    let decomposed = experiments::decomposed_for(&w, &mrc_geom, EVENTS);
+    let mut via_events = AccuracyEvaluator::new(mrc_geom, TagBits::Low(8));
+    decomposed.for_each(|set, tag| via_events.observe_parts(set, tag));
+    assert_eq!(
+        via_partitioned.report(),
+        via_events.report(),
+        "partitioned replay must match per-event trace-order replay"
+    );
+}

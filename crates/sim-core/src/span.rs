@@ -514,8 +514,15 @@ mod tests {
         assert_eq!(worker(), 3);
         set_worker(0);
 
-        // Name registry.
+        // Name registry. The partitioned-replay pipeline's span names
+        // are pinned here so a prefix change cannot silently
+        // unregister them: `arena_partition` (decompose-time counting
+        // sort), `replay_partitioned` (per-set-run replay), and
+        // `replay_stream` (chunked generator replay).
         assert!(name_registered("replay_block"));
+        assert!(name_registered("arena_partition"));
+        assert!(name_registered("replay_partitioned"));
+        assert!(name_registered("replay_stream"));
         assert!(!name_registered("my_phase"));
     }
 
