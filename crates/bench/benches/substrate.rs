@@ -189,12 +189,16 @@ fn bench_trace_supply(c: &mut Criterion) {
 
 /// The flat SoA cache kernel in isolation: probe-heavy (hot loop is
 /// `find_slot` over resident tags) and fill-heavy (hot loop is victim
-/// scan + slot replace) over two address patterns — `dense` walks
-/// distinct sets sequentially (the spatial-locality best case), while
+/// scan + slot replace) over four address patterns — `dense` walks
+/// distinct sets sequentially (the spatial-locality best case),
 /// `conflict` hammers a single set with `2 × assoc` competing tags
 /// (every fill evicts, every probe scans a full set and misses half
-/// the time). Kernel regressions show up here before they blur into
-/// the figure drivers.
+/// the time), `uniform` draws seeded pseudo-random lines from 4× the
+/// cache's capacity (no reuse, steady-state capacity misses), and
+/// `working_set_N` cycles N distinct lines (N = 128 fits — all hits
+/// after warmup; N = 512 is 2× capacity — steady conflict-driven
+/// thrash). Kernel regressions show up here before they blur into the
+/// figure drivers.
 fn bench_cache_kernel(c: &mut Criterion) {
     let geom = CacheGeometry::new(16 * 1024, 2, 64).unwrap();
     let num_sets = geom.num_sets() as u64;
@@ -208,9 +212,33 @@ fn bench_cache_kernel(c: &mut Criterion) {
         .map(|i| sim_core::LineAddr::new((i % (2 * assoc)) * num_sets))
         .collect();
 
+    // Uniform: seeded pseudo-random lines over 4× the cache's line
+    // capacity — no reuse locality, so probes settle at the capacity
+    // miss rate and fills exercise the whole victim scan.
+    let mut rng = sim_core::rng::SplitMix64::new(0x5EED_CAFE);
+    let uniform: Vec<sim_core::LineAddr> = (0..N as u64)
+        .map(|_| sim_core::LineAddr::new(rng.next_below(num_sets * assoc * 4)))
+        .collect();
+    // Working sets: cycle W distinct consecutive lines. W = 128 fits
+    // the 256-line capacity (pure hit traffic after warmup); W = 512
+    // is 2× capacity spread 4-deep over 2-way sets (steady thrash).
+    let working_set = |w: u64| -> Vec<sim_core::LineAddr> {
+        (0..N as u64)
+            .map(|i| sim_core::LineAddr::new(i % w))
+            .collect()
+    };
+    let ws_fit = working_set(128);
+    let ws_thrash = working_set(512);
+
     let mut g = c.benchmark_group("substrate/cache_kernel");
     g.throughput(Throughput::Elements(N as u64));
-    for (pattern, refs) in [("dense", &dense), ("conflict", &conflict)] {
+    for (pattern, refs) in [
+        ("dense", &dense),
+        ("conflict", &conflict),
+        ("uniform", &uniform),
+        ("working_set_128", &ws_fit),
+        ("working_set_512", &ws_thrash),
+    ] {
         g.bench_function(&format!("probe_{pattern}"), |b| {
             // Pre-fill once; the timed loop is pure probe traffic.
             let mut cache: SetAssocCache<()> = SetAssocCache::new(geom);

@@ -135,7 +135,17 @@ impl<M> SetAssocCache<M> {
             replacement,
             evictions: 0,
             set_evictions: crate::pool::take_u32_zeroed(geom.num_sets()),
-            scratch: None,
+            // Built eagerly so block replay never allocates: the
+            // empty vectors grow inside pooled/amortized scratch on
+            // first use and are recycled with the cache.
+            scratch: Some(BlockScratch {
+                counts: crate::pool::take_u32_zeroed(geom.num_sets()),
+                touched: Vec::new(),
+                order: Vec::new(),
+                sorted_sets: Vec::new(),
+                sorted_tags: Vec::new(),
+                iota: Vec::new(),
+            }),
             probed: false,
         }
     }
@@ -309,7 +319,7 @@ impl<M> SetAssocCache<M> {
             // Ways 0..occ hold Some meta by construction (fills write
             // it, invalidate swap-removes), and no non-panicking
             // fallback exists for an arbitrary meta type M.
-            // simlint: allow(hot-path-panic)
+            // simlint: allow(transitive-panic)
             .expect("resident way has meta");
         self.tags[slot] = tag;
         self.stamps[slot] = clock;
@@ -831,16 +841,13 @@ impl<M> SetAssocCache<M> {
     ) {
         // Scratch is taken out of the struct for the duration of the
         // block so its arrays and the kernel arrays borrow disjointly.
-        let mut scratch = match self.scratch.take() {
-            Some(scratch) => scratch,
-            None => BlockScratch {
-                counts: crate::pool::take_u32_zeroed(self.occ.len()),
-                touched: Vec::new(),
-                order: Vec::new(),
-                sorted_sets: Vec::new(),
-                sorted_tags: Vec::new(),
-                iota: Vec::new(),
-            },
+        // The constructor installs it and every taker puts it back, so
+        // the `else` arm is unreachable in practice; per-event replay
+        // is a total, allocation-free fallback with identical
+        // semantics.
+        let Some(mut scratch) = self.scratch.take() else {
+            self.block_fallback(sets, tags, sink);
+            return;
         };
         if self.tags.len() > SORT_SLOT_THRESHOLD {
             // Large geometry: bucket by set, then replay per-set runs

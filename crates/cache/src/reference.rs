@@ -76,18 +76,8 @@ impl<M> RefSetAssocCache<M> {
     fn victim_way(&self, set_index: usize) -> usize {
         let ways = &self.sets[set_index].ways;
         match self.replacement {
-            Replacement::Lru => ways
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.last_use)
-                .map(|(i, _)| i)
-                .expect("full set has ways"),
-            Replacement::Fifo => ways
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.filled_at)
-                .map(|(i, _)| i)
-                .expect("full set has ways"),
+            Replacement::Lru => min_stamp_index(ways, |w| w.last_use),
+            Replacement::Fifo => min_stamp_index(ways, |w| w.filled_at),
             Replacement::Random => {
                 let mut rng = sim_core::rng::SplitMix64::new(
                     u64::from(self.set_evictions[set_index]) ^ (set_index as u64).rotate_left(32),
@@ -102,7 +92,23 @@ impl<M> RefSetAssocCache<M> {
     pub fn stats(&self) -> &CacheStats {
         &self.stats
     }
+}
 
+/// Index of the way with the minimum `stamp`, first-wins on ties —
+/// the same choice `min_by_key` over an enumerated iterator makes,
+/// but total: an empty set yields 0 instead of panicking (callers
+/// only consult full sets, so the value is never used spuriously).
+fn min_stamp_index<M>(ways: &[Way<M>], stamp: impl Fn(&Way<M>) -> u64) -> usize {
+    let mut best = 0;
+    for (i, w) in ways.iter().enumerate().skip(1) {
+        if stamp(w) < stamp(&ways[best]) {
+            best = i;
+        }
+    }
+    best
+}
+
+impl<M> RefSetAssocCache<M> {
     /// Looks a line up, updating recency and hit/miss statistics.
     pub fn probe(&mut self, line: LineAddr) -> Option<&mut M> {
         self.clock += 1;

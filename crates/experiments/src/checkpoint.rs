@@ -36,7 +36,7 @@ use crate::jsonl::{self, Value};
 use crate::telemetry::json_string;
 
 /// The checkpoint schema identifier.
-pub const SCHEMA: &str = "fault-repro/1";
+pub const SCHEMA: &str = sim_core::registry::SCHEMA_FAULT;
 
 /// How a checkpointed cell ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -113,8 +113,11 @@ pub fn summarize(text: &str, opts: &SummarizeOptions) -> Result<String, String> 
     }
     let header = values.first().ok_or("empty probe file")?;
     let schema = header.str_field("schema").unwrap_or("<missing>");
-    if schema != "obs-repro/1" {
-        return Err(format!("expected schema obs-repro/1, found {schema}"));
+    if schema != sim_core::registry::SCHEMA_OBS {
+        return Err(format!(
+            "expected schema {}, found {schema}",
+            sim_core::registry::SCHEMA_OBS
+        ));
     }
     let mode = header.str_field("mode").unwrap_or("?").to_owned();
 
@@ -164,7 +167,8 @@ pub fn summarize(text: &str, opts: &SummarizeOptions) -> Result<String, String> 
 
     let mut out = String::new();
     out.push_str(&format!(
-        "obs-repro/1  mode={mode}{}  events/workload={}  cells={}\n",
+        "{}  mode={mode}{}  events/workload={}  cells={}\n",
+        sim_core::registry::SCHEMA_OBS,
         header
             .u64_field("epoch_len")
             .map(|n| format!(" epoch_len={n}"))

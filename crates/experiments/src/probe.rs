@@ -237,7 +237,11 @@ fn hot_sets_json(hot: &[(u32, u64)]) -> String {
 #[must_use]
 pub fn render_jsonl(records: &[CellRecord], header: &RunHeader) -> String {
     let mut out = String::new();
-    out.push_str("{\"schema\":\"obs-repro/1\",\"mode\":\"");
+    let _ = write!(
+        out,
+        "{{\"schema\":\"{}\",\"mode\":\"",
+        sim_core::registry::SCHEMA_OBS
+    );
     out.push_str(header.mode.name());
     out.push('"');
     if let ProbeMode::Epoch(len) = header.mode {

@@ -194,7 +194,11 @@ impl BenchReport {
     pub fn to_json_with_arena(&self, arena: &ArenaStats) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"bench-repro/2\",\n");
+        let _ = writeln!(
+            out,
+            "  \"schema\": \"{}\",",
+            sim_core::registry::SCHEMA_BENCH
+        );
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(
             out,

@@ -66,9 +66,14 @@ pub fn parse(text: &str) -> Result<TraceDoc, String> {
     let values = jsonl::parse_lines(text)?;
     let header = values.first().ok_or("empty trace file")?;
     match header.str_field("schema") {
-        Some("trace-repro/1") => {}
+        Some(s) if s == sim_core::registry::SCHEMA_TRACE => {}
         Some(other) => return Err(format!("unsupported trace schema {other:?}")),
-        None => return Err("first line is not a trace-repro/1 header".to_owned()),
+        None => {
+            return Err(format!(
+                "first line is not a {} header",
+                sim_core::registry::SCHEMA_TRACE
+            ))
+        }
     }
     let logical = matches!(header.get("logical"), Some(Value::Bool(true)));
     let mut spans = Vec::new();

@@ -231,8 +231,10 @@ pub fn render_jsonl(
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"schema\":\"trace-repro/1\",\"logical\":{},\"events_per_workload\":{},\"targets\":[",
-        header.logical, header.events_per_workload,
+        "{{\"schema\":\"{}\",\"logical\":{},\"events_per_workload\":{},\"targets\":[",
+        sim_core::registry::SCHEMA_TRACE,
+        header.logical,
+        header.events_per_workload,
     );
     for (i, t) in header.targets.iter().enumerate() {
         let comma = if i + 1 < header.targets.len() {

@@ -2,7 +2,7 @@
 //! emits: `bench-repro/2` (from `repro --bench-json`), `obs-repro/1`
 //! (from `repro --probe`), `fault-repro/1` (from
 //! `repro --checkpoint`), `trace-repro/1` (from `repro --trace-out`),
-//! and `lint-repro/1` (from `cargo run -p simlint -- --json`).
+//! and `lint-repro/2` (from `cargo run -p simlint -- --json`).
 //! Downstream tooling parses these files across PRs, so any field
 //! rename, reordering, or escaping change must show up as a deliberate
 //! diff here (and a schema version bump).
@@ -296,31 +296,45 @@ fn trace_repro_1_jsonl_is_stable() {
 }
 
 #[test]
-fn lint_repro_1_jsonl_is_stable() {
+fn lint_repro_2_jsonl_is_stable() {
     let report = simlint::Report {
-        findings: vec![simlint::Finding::new(
-            "wallclock",
-            "crates/cpu/src/baseline.rs",
-            7,
-            "wall-clock access with an \"odd\\quote\"".to_owned(),
-        )],
+        findings: vec![
+            simlint::Finding::new(
+                "wallclock",
+                "crates/cpu/src/baseline.rs",
+                7,
+                "wall-clock access with an \"odd\\quote\"".to_owned(),
+            ),
+            simlint::Finding::new(
+                "transitive-panic",
+                "crates/cache/src/cache.rs",
+                9,
+                "panicking call (expect) reachable from hot entry point `access_block`".to_owned(),
+            )
+            .with_path(vec![
+                "access_block (crates/cache/src/cache.rs:3)".to_owned(),
+                "victim (crates/cache/src/cache.rs:8)".to_owned(),
+            ]),
+        ],
         waived: 1,
         files_scanned: 101,
     };
     let expected = concat!(
-        "{\"schema\":\"lint-repro/1\",\"rules\":[\"bench-prefix\",\"default-hasher\",\"hot-path-panic\",\"probe-guard\",\"span-name\",\"unseeded-rng\",\"waiver\",\"wallclock\"],\"files_scanned\":101}\n",
-        "{\"type\":\"finding\",\"rule\":\"wallclock\",\"file\":\"crates/cpu/src/baseline.rs\",\"line\":7,\"message\":\"wall-clock access with an \\\"odd\\\\quote\\\"\"}\n",
-        "{\"type\":\"summary\",\"findings\":1,\"waived\":1,\"files_scanned\":101}\n",
+        "{\"schema\":\"lint-repro/2\",\"rules\":[\"bench-prefix\",\"default-hasher\",\"hot-path-alloc\",\"probe-guard\",\"registry-drift\",\"span-name\",\"transitive-panic\",\"unseeded-rng\",\"waiver\",\"wallclock\"],\"files_scanned\":101}\n",
+        "{\"type\":\"finding\",\"rule\":\"wallclock\",\"file\":\"crates/cpu/src/baseline.rs\",\"line\":7,\"message\":\"wall-clock access with an \\\"odd\\\\quote\\\"\",\"path\":[]}\n",
+        "{\"type\":\"finding\",\"rule\":\"transitive-panic\",\"file\":\"crates/cache/src/cache.rs\",\"line\":9,\"message\":\"panicking call (expect) reachable from hot entry point `access_block`\",\"path\":[\"access_block (crates/cache/src/cache.rs:3)\",\"victim (crates/cache/src/cache.rs:8)\"]}\n",
+        "{\"type\":\"summary\",\"findings\":2,\"waived\":1,\"files_scanned\":101}\n",
     );
     let rendered = report.render_json();
     assert_eq!(rendered, expected);
     assert!(rendered.starts_with(&format!("{{\"schema\":\"{}\"", simlint::SCHEMA)));
+    assert_eq!(simlint::SCHEMA, sim_core::registry::SCHEMA_LINT);
 
     // The lint JSONL must round-trip through the same reader the other
     // two schemas use, so CI tooling needs exactly one parser.
     let values = experiments::jsonl::parse_lines(&rendered).expect("lint JSONL parses");
-    assert_eq!(values.len(), 3);
-    assert_eq!(values[0].str_field("schema"), Some("lint-repro/1"));
+    assert_eq!(values.len(), 4);
+    assert_eq!(values[0].str_field("schema"), Some("lint-repro/2"));
     let rules = values[0].get("rules").and_then(|v| v.as_array()).unwrap();
     assert_eq!(rules.len(), simlint::rules::RULE_NAMES.len());
     assert_eq!(values[1].str_field("rule"), Some("wallclock"));
@@ -329,7 +343,9 @@ fn lint_repro_1_jsonl_is_stable() {
         values[1].str_field("message"),
         Some("wall-clock access with an \"odd\\quote\"")
     );
-    assert_eq!(values[2].u64_field("findings"), Some(1));
-    assert_eq!(values[2].u64_field("waived"), Some(1));
-    assert_eq!(values[2].u64_field("files_scanned"), Some(101));
+    let path = values[2].get("path").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(path.len(), 2, "call-path evidence survives the round trip");
+    assert_eq!(values[3].u64_field("findings"), Some(2));
+    assert_eq!(values[3].u64_field("waived"), Some(1));
+    assert_eq!(values[3].u64_field("files_scanned"), Some(101));
 }

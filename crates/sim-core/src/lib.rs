@@ -18,6 +18,9 @@
 //!   experiment fans independent cells out with;
 //! * [`probe`] — zero-overhead-when-disabled observability probes
 //!   (event sinks, per-epoch folds, named counter registry);
+//! * [`registry`] — the canonical contract registry (schema
+//!   identifiers, span-name prefixes, bench-group prefixes, hot entry
+//!   points) that runtime checks and `simlint` both consume;
 //! * [`span`] — hierarchical self-profiling spans (per-phase timing
 //!   with the same zero-overhead-when-disarmed discipline);
 //! * [`stats`] — counters, ratios and accumulators used to report
@@ -43,6 +46,7 @@ pub mod fault;
 pub mod hash;
 pub mod parallel;
 pub mod probe;
+pub mod registry;
 pub mod rng;
 pub mod span;
 pub mod stats;

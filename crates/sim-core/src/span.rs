@@ -46,15 +46,15 @@ pub type Clock = fn() -> u64;
 /// Registered span-name prefixes, one per instrumented component.
 /// Every name passed to [`enter`] or [`scope`] must start with one of
 /// these (the simlint `span-name` rule enforces it at call sites).
-pub const NAME_PREFIXES: [&str; 8] = [
-    "arena_", "cell_", "fault_", "fig_", "probe_", "replay_", "sched_", "sweep_",
-];
+/// The definition lives in the canonical contract registry
+/// ([`crate::registry::SPAN_NAME_PREFIXES`]); this is the same list.
+pub use crate::registry::SPAN_NAME_PREFIXES as NAME_PREFIXES;
 
 /// Returns whether `name` starts with a registered component prefix
 /// (see [`NAME_PREFIXES`]).
 #[must_use]
 pub fn name_registered(name: &str) -> bool {
-    NAME_PREFIXES.iter().any(|p| name.starts_with(p))
+    crate::registry::span_name_registered(name)
 }
 
 const OFF: u8 = 0;

@@ -373,4 +373,47 @@ mod tests {
         assert!(!s.lines[0].contains("HashMap"));
         assert_eq!(s.comments[0].0, 1);
     }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_numbering() {
+        let s = scrub("let s = r##\"first\nInstant::now()\n\"# not the end\"##;\nafter();");
+        assert_eq!(s.lines.len(), 4);
+        assert!(!s.lines.join("\n").contains("Instant"), "{:?}", s.lines);
+        assert!(s.lines[3].contains("after();"));
+        // The captured literal spans all three source lines, anchored
+        // to its opening line.
+        assert_eq!(s.strings.len(), 1);
+        assert_eq!(s.strings[0].0, 1);
+        assert!(s.strings[0].1.contains("\"# not the end"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_terminate() {
+        let c = code("a /* 1 /* 2 /* 3 */ thread_rng */ 5 */ b\nc /* open /* still");
+        assert!(c.contains('a') && c.contains('b') && c.contains('c'));
+        assert!(!c.contains("thread_rng"));
+        // An unterminated nested comment swallows the rest without
+        // panicking or leaking its contents back into code.
+        assert!(!c.contains("still"));
+    }
+
+    #[test]
+    fn crlf_sources_scan_like_lf_sources() {
+        let s = scrub("let a = 1;\r\nlet b = \"kernel_x\"; // note\r\nlet c = 2;\r\n");
+        assert!(s.lines.len() >= 3, "{:?}", s.lines);
+        assert!(s.lines[0].contains("let a = 1;"));
+        assert!(s.lines[1].contains("let b ="));
+        assert!(s.lines[2].contains("let c = 2;"));
+        assert_eq!(s.strings[0], (2, "kernel_x".to_owned()));
+        assert_eq!(s.comments[0].0, 2);
+        assert!(s.comments[0].1.contains("note"));
+    }
+
+    #[test]
+    fn crlf_line_comments_do_not_swallow_the_next_line() {
+        // The carriage return must not keep the `//` comment open past
+        // the newline: `thread_rng` on the next line is still code.
+        let c = code("// header\r\nthread_rng();\r\n");
+        assert!(c.contains("thread_rng"), "{c:?}");
+    }
 }

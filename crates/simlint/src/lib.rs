@@ -11,16 +11,20 @@
 //! the armed-check idiom, randomness only from seeded RNGs. This crate
 //! checks those conventions at review time. It is self-contained (no
 //! `syn`, no crates.io dependencies — the build containers are
-//! offline): a hand-rolled lexer ([`lexer`]) scrubs comments and
-//! string literals, and a small rule engine ([`rules`]) scans the
-//! remaining code text.
+//! offline; the sole dependency is the in-workspace, itself
+//! dependency-free `sim-core`, for the canonical contract registry):
+//! a hand-rolled lexer ([`lexer`]) scrubs comments and string
+//! literals, a symbol-table pass ([`items`]) links the scrubbed files
+//! into an approximate cross-crate call graph, and a rule engine
+//! ([`rules`]) scans code text per file plus panic/allocation
+//! reachability from the registered hot entry points over the graph.
 //!
 //! Run it with `cargo run -p simlint` (humans) or
-//! `cargo run -p simlint -- --json` (CI; schema `lint-repro/1`). A
+//! `cargo run -p simlint -- --json` (CI; schema `lint-repro/2`). A
 //! finding can be waived in place with a justified comment:
 //!
 //! ```text
-//! // simlint: allow(hot-path-panic) — ways 0..occ are resident by
+//! // simlint: allow(transitive-panic) — ways 0..occ are resident by
 //! // construction; no non-panicking fallback exists for arbitrary M.
 //! .expect("resident way has meta");
 //! ```
@@ -31,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod items;
 pub mod lexer;
 pub mod rules;
 
@@ -40,8 +45,9 @@ use std::path::{Path, PathBuf};
 
 use rules::FileCtx;
 
-/// The machine-readable schema identifier emitted by `--json`.
-pub const SCHEMA: &str = "lint-repro/1";
+/// The machine-readable schema identifier emitted by `--json`
+/// (canonically defined in [`sim_core::registry`]).
+pub const SCHEMA: &str = sim_core::registry::SCHEMA_LINT;
 
 /// One diagnostic: a rule violated at a `file:line` anchor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,10 +61,14 @@ pub struct Finding {
     pub line: usize,
     /// Human-readable explanation.
     pub message: String,
+    /// Call-path evidence for graph rules: the chain of
+    /// `"name (file:line)"` entries from the hot entry point down to
+    /// the function containing the finding. Empty for per-file rules.
+    pub path: Vec<String>,
 }
 
 impl Finding {
-    /// Creates a finding.
+    /// Creates a finding with no call-path evidence.
     #[must_use]
     pub fn new(rule: &'static str, file: &str, line: usize, message: String) -> Self {
         Finding {
@@ -66,16 +76,35 @@ impl Finding {
             file: file.to_owned(),
             line,
             message,
+            path: Vec::new(),
         }
     }
 
-    /// The human-readable diagnostic line.
+    /// Attaches call-path evidence (graph rules).
+    #[must_use]
+    pub fn with_path(mut self, path: Vec<String>) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// The human-readable diagnostic line. Graph findings append the
+    /// call chain (function names only; the JSONL form keeps the full
+    /// `file:line` anchors).
     #[must_use]
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.message
-        )
+        );
+        if !self.path.is_empty() {
+            let names: Vec<&str> = self
+                .path
+                .iter()
+                .map(|e| e.split(" (").next().unwrap_or(e))
+                .collect();
+            let _ = write!(out, "; call path: {}", names.join(" -> "));
+        }
+        out
     }
 }
 
@@ -122,13 +151,14 @@ impl Report {
         out
     }
 
-    /// Renders the `lint-repro/1` JSONL document: a header object, one
-    /// object per finding, and a trailing summary object. Parses with
+    /// Renders the `lint-repro/2` JSONL document: a header object, one
+    /// object per finding (with its call-path evidence array), and a
+    /// trailing summary object. Parses with
     /// `experiments::jsonl::parse_lines` (golden-tested).
     #[must_use]
     pub fn render_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\"schema\":\"lint-repro/1\",\"rules\":[");
+        let _ = write!(out, "{{\"schema\":{},\"rules\":[", json_string(SCHEMA));
         for (i, name) in rules::RULE_NAMES.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -137,13 +167,15 @@ impl Report {
         }
         let _ = writeln!(out, "],\"files_scanned\":{}}}", self.files_scanned);
         for f in &self.findings {
+            let path: Vec<String> = f.path.iter().map(|e| json_string(e)).collect();
             let _ = writeln!(
                 out,
-                "{{\"type\":\"finding\",\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                "{{\"type\":\"finding\",\"rule\":{},\"file\":{},\"line\":{},\"message\":{},\"path\":[{}]}}",
                 json_string(f.rule),
                 json_string(&f.file),
                 f.line,
                 json_string(&f.message),
+                path.join(","),
             );
         }
         let _ = writeln!(
@@ -186,27 +218,90 @@ fn json_string(s: &str) -> String {
 
 /// Lints one file's source text under a workspace-relative `path`
 /// (rule applicability is path-driven, so fixtures can be checked *as
-/// if* they lived on a hot path).
+/// if* they lived on a hot path). The graph rules see a one-file
+/// workspace, so a fixture defining its own hot entry point trips
+/// them too.
 #[must_use]
 pub fn lint_source(path: &str, source: &str) -> (Vec<Finding>, usize) {
-    let scrubbed = lexer::scrub(source);
-    let whole_file_test = test_context_path(path);
-    let mask = test_line_mask(&scrubbed.lines, whole_file_test);
-    let ctx = FileCtx {
-        path,
-        lines: &scrubbed.lines,
-        test_mask: &mask,
-        strings: &scrubbed.strings,
-    };
-    let mut findings = rules::check_file(&ctx);
+    let report = lint_files(&[(path.to_owned(), source.to_owned())]);
+    (report.findings, report.waived)
+}
 
-    // Waivers cover their own line and the next. Unknown rule names
-    // are themselves findings — a typoed waiver must not silently
-    // waive nothing. A directive must *begin* the comment (doc
-    // comments and prose that merely mention the syntax keep their
-    // `/`/`!` marker or leading words and are ignored).
+/// Lints a set of `(workspace-relative path, source)` files as one
+/// workspace: per-file rules on each file, the call-graph rules
+/// (`transitive-panic`, `hot-path-alloc`) across all of them, and
+/// in-place waivers applied to both kinds of finding.
+#[must_use]
+pub fn lint_files(files: &[(String, String)]) -> Report {
+    struct FileData {
+        path: String,
+        scrubbed: lexer::Scrubbed,
+        mask: Vec<bool>,
+    }
+    let data: Vec<FileData> = files
+        .iter()
+        .map(|(path, source)| {
+            let scrubbed = lexer::scrub(source);
+            let mask = test_line_mask(&scrubbed.lines, test_context_path(path));
+            FileData {
+                path: path.clone(),
+                scrubbed,
+                mask,
+            }
+        })
+        .collect();
+
+    let mut ws = items::Workspace::new();
+    for d in &data {
+        ws.add_file(&d.path, &d.scrubbed.lines, &d.mask);
+    }
+    let ctxs: Vec<FileCtx<'_>> = data
+        .iter()
+        .map(|d| FileCtx {
+            path: &d.path,
+            lines: &d.scrubbed.lines,
+            test_mask: &d.mask,
+            strings: &d.scrubbed.strings,
+        })
+        .collect();
+
+    // Per-file findings, bucketed by file index so waivers (which are
+    // per-file) can be applied uniformly to graph findings too.
+    let mut buckets: Vec<Vec<Finding>> = ctxs.iter().map(rules::check_file).collect();
+    for finding in rules::check_graph(&ws, &ctxs) {
+        if let Some(idx) = data.iter().position(|d| d.path == finding.file) {
+            buckets[idx].push(finding);
+        }
+    }
+
+    let mut report = Report {
+        files_scanned: data.len(),
+        ..Report::default()
+    };
+    for (d, findings) in data.iter().zip(buckets) {
+        let (kept, waived) = apply_waivers(&d.path, &d.scrubbed.comments, findings);
+        report.findings.extend(kept);
+        report.waived += waived;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+/// Applies one file's in-place waivers to its findings. Waivers cover
+/// their own line and the next. Unknown rule names are themselves
+/// findings — a typoed waiver must not silently waive nothing. A
+/// directive must *begin* the comment (doc comments and prose that
+/// merely mention the syntax keep their `/`/`!` marker or leading
+/// words and are ignored).
+fn apply_waivers(
+    path: &str,
+    comments: &[(usize, String)],
+    mut findings: Vec<Finding>,
+) -> (Vec<Finding>, usize) {
     let mut waivers: BTreeMap<usize, Vec<String>> = BTreeMap::new();
-    for (line, text) in &scrubbed.comments {
+    for (line, text) in comments {
         let Some(directive) = text.trim_start().strip_prefix("simlint:") else {
             continue;
         };
@@ -375,21 +470,13 @@ fn collect(root: &Path, dir: &Path, files: &mut Vec<(String, PathBuf)>) -> Resul
 /// cannot be read.
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     let files = workspace_files(root)?;
-    let mut report = Report {
-        files_scanned: files.len(),
-        ..Report::default()
-    };
-    for (rel, abs) in &files {
-        let source = std::fs::read_to_string(abs)
+    let mut sources = Vec::with_capacity(files.len());
+    for (rel, abs) in files {
+        let source = std::fs::read_to_string(&abs)
             .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
-        let (findings, waived) = lint_source(rel, &source);
-        report.findings.extend(findings);
-        report.waived += waived;
+        sources.push((rel, source));
     }
-    report
-        .findings
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(report)
+    Ok(lint_files(&sources))
 }
 
 #[cfg(test)]
@@ -467,10 +554,90 @@ mod tests {
         let json = report.render_json();
         let lines: Vec<&str> = json.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert!(lines[0].contains("\"schema\":\"lint-repro/1\""));
+        assert!(lines[0].contains("\"schema\":\"lint-repro/2\""));
         assert!(lines[1].contains("\"line\":7"));
         assert!(lines[1].contains("\\\"quoted\\\""));
+        assert!(lines[1].contains("\"path\":[]"));
         assert!(lines[2].contains("\"findings\":1"));
+    }
+
+    #[test]
+    fn json_report_carries_call_path_evidence() {
+        let report = Report {
+            findings: vec![Finding::new(
+                "transitive-panic",
+                "crates/x/src/lib.rs",
+                9,
+                "panicking call".to_owned(),
+            )
+            .with_path(vec![
+                "access_block (crates/x/src/lib.rs:1)".to_owned(),
+                "helper (crates/x/src/lib.rs:7)".to_owned(),
+            ])],
+            waived: 0,
+            files_scanned: 1,
+        };
+        let json = report.render_json();
+        let finding = json.lines().nth(1).unwrap();
+        assert!(
+            finding.contains(
+                "\"path\":[\"access_block (crates/x/src/lib.rs:1)\",\"helper (crates/x/src/lib.rs:7)\"]"
+            ),
+            "{finding}"
+        );
+        let human = report.render_human();
+        assert!(
+            human.contains("call path: access_block -> helper"),
+            "{human}"
+        );
+    }
+
+    #[test]
+    fn transitive_panic_walks_the_call_graph() {
+        let src = "pub struct K;\nimpl K {\n    pub fn access_block(&mut self) {\n        self.step();\n    }\n    fn step(&mut self) {\n        helper();\n    }\n}\nfn helper() {\n    None::<u8>.unwrap();\n}\n";
+        let (f, _) = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "transitive-panic");
+        assert_eq!(f[0].line, 11);
+        assert_eq!(f[0].path.len(), 3, "{:?}", f[0].path);
+        assert!(f[0].path[0].starts_with("access_block "));
+        assert!(f[0].message.contains("`access_block`"));
+        // The same panic with no hot entry point upstream is clean.
+        let cold = "fn driver() {\n    helper();\n}\nfn helper() {\n    None::<u8>.unwrap();\n}\n";
+        let (f, _) = lint_source("crates/x/src/lib.rs", cold);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_flags_reachable_allocation_outside_pool() {
+        let src = "pub fn fill_at(n: usize) -> Vec<u8> {\n    scratch(n)\n}\nfn scratch(n: usize) -> Vec<u8> {\n    Vec::with_capacity(n)\n}\n";
+        let (f, _) = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "hot-path-alloc");
+        assert_eq!(f[0].line, 5);
+        // The pool module is the sanctioned allocator.
+        let (f, _) = lint_source("crates/cache/src/pool.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn graph_findings_are_waivable_in_place() {
+        let src = "pub fn probe_at() {\n    // simlint: allow(transitive-panic) — impossible by construction\n    None::<u8>.unwrap();\n}\n";
+        let (f, waived) = lint_source("crates/x/src/lib.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(waived, 1);
+    }
+
+    #[test]
+    fn waiver_on_the_last_line_of_a_file_still_applies() {
+        // No trailing newline, waiver trailing the offending statement
+        // on the file's final line: the own-line half of the coverage
+        // window must still fire, and the absent next line must not
+        // trip anything.
+        let src = "fn f() -> u32 {\n    rand::thread_rng().gen() // simlint: allow(unseeded-rng) — fixture\n}";
+        let (f, waived) = lint_source("crates/x/src/lib.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(waived, 1);
     }
 
     #[test]

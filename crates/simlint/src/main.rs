@@ -7,21 +7,47 @@
 //! Scans the workspace's Rust sources (skipping `vendor/`, `target/`,
 //! and test fixtures) against the rule set in [`simlint::rules`].
 //! Exits 0 on a clean tree, 1 when findings remain, 2 on usage or I/O
-//! errors. `--json` emits the `lint-repro/1` JSONL document instead of
+//! errors. `--json` emits the `lint-repro/2` JSONL document instead of
 //! human diagnostics.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn usage() -> ExitCode {
-    eprintln!(
+/// The usage text. Printed to stdout (exit 0) when help is asked for,
+/// to stderr (exit 2) when the invocation was malformed.
+fn usage_text() -> String {
+    format!(
         "usage: simlint [--json] [--root PATH]\n\
          \n\
-         --json        machine-readable output (schema lint-repro/1)\n\
+         --json        machine-readable output (schema {})\n\
          --root PATH   workspace root to scan (default: nearest ancestor\n\
-         \u{20}             of the current directory with a [workspace] manifest)"
-    );
+         \u{20}             of the current directory with a [workspace] manifest)",
+        simlint::SCHEMA,
+    )
+}
+
+fn usage() -> ExitCode {
+    eprintln!("{}", usage_text());
     ExitCode::from(2)
+}
+
+/// Whether a `Cargo.toml` manifest declares a `[workspace]` table.
+///
+/// Lexes the manifest line-wise instead of substring-matching the
+/// whole text: a table header only counts when it *begins* its line
+/// (TOML permits leading whitespace and a trailing comment, nothing
+/// else), so `[workspace]` mentioned inside a comment or a string —
+/// e.g. a crate description quoting this very tool — no longer makes
+/// a member crate look like the root.
+fn declares_workspace(manifest: &str) -> bool {
+    manifest.lines().any(|line| {
+        let line = line.trim_start();
+        let Some(rest) = line.strip_prefix("[workspace]") else {
+            return false;
+        };
+        let rest = rest.trim_start();
+        rest.is_empty() || rest.starts_with('#')
+    })
 }
 
 /// The nearest ancestor directory whose `Cargo.toml` declares a
@@ -32,7 +58,7 @@ fn find_workspace_root() -> Option<PathBuf> {
     loop {
         let manifest = dir.join("Cargo.toml");
         if let Ok(text) = std::fs::read_to_string(&manifest) {
-            if text.contains("[workspace]") {
+            if declares_workspace(&text) {
                 return Some(dir);
             }
         }
@@ -54,7 +80,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "-h" | "--help" => {
-                usage();
+                println!("{}", usage_text());
                 return ExitCode::SUCCESS;
             }
             _ => return usage(),
@@ -82,5 +108,28 @@ fn main() -> ExitCode {
             eprintln!("simlint: {msg}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::declares_workspace;
+
+    #[test]
+    fn workspace_header_must_begin_a_line() {
+        assert!(declares_workspace("[workspace]\nmembers = []\n"));
+        assert!(declares_workspace("  [workspace]  # root\n"));
+        assert!(declares_workspace(
+            "[package]\nname = \"x\"\n\n[workspace]\n"
+        ));
+        // Mentions inside comments or strings are not declarations.
+        assert!(!declares_workspace(
+            "# the [workspace] table lives upstairs\n"
+        ));
+        assert!(!declares_workspace(
+            "description = \"finds the [workspace] root\"\n"
+        ));
+        // A longer table name is not the workspace table.
+        assert!(!declares_workspace("[workspace.metadata.x]\nkey = 1\n"));
     }
 }

@@ -1,13 +1,26 @@
-//! The rule catalog: each rule is a scan over one scrubbed file.
+//! The rule catalog: per-file scans plus workspace graph rules.
 //!
-//! Rules see a [`FileCtx`]: the scrubbed code lines of one file (see
-//! [`crate::lexer`]), a per-line test-region mask, and the file's
-//! workspace-relative path. They match token spellings with identifier
-//! boundaries — deliberately shallower than a type-checked analysis,
-//! which keeps the pass dependency-free and fast, at the cost of being
-//! a *convention* checker: the conventions are chosen so the textual
-//! form and the semantic property coincide in this workspace.
+//! Per-file rules see a [`FileCtx`]: the scrubbed code lines of one
+//! file (see [`crate::lexer`]), a per-line test-region mask, and the
+//! file's workspace-relative path. They match token spellings with
+//! identifier boundaries — deliberately shallower than a type-checked
+//! analysis, which keeps the pass dependency-free and fast, at the
+//! cost of being a *convention* checker: the conventions are chosen so
+//! the textual form and the semantic property coincide in this
+//! workspace.
+//!
+//! Graph rules ([`check_graph`]) additionally see the workspace
+//! symbol table and approximate call graph from [`crate::items`]:
+//! `transitive-panic` and `hot-path-alloc` flag panic/allocation
+//! tokens in any function *reachable* from the registered hot entry
+//! points ([`sim_core::registry::HOT_ENTRY_POINTS`]), attaching the
+//! offending call chain as evidence. The registries themselves —
+//! span-name prefixes, bench-group prefixes, schema identifiers —
+//! come from [`sim_core::registry`], the single canonical definition
+//! shared with the runtime checks; `registry-drift` closes the loop
+//! by flagging any schema literal that disagrees with it.
 
+use crate::items::Workspace;
 use crate::Finding;
 
 /// One file as the rules see it.
@@ -34,12 +47,14 @@ impl FileCtx<'_> {
 }
 
 /// Every rule name, in the order diagnostics list them.
-pub const RULE_NAMES: [&str; 8] = [
+pub const RULE_NAMES: [&str; 10] = [
     "bench-prefix",
     "default-hasher",
-    "hot-path-panic",
+    "hot-path-alloc",
     "probe-guard",
+    "registry-drift",
     "span-name",
+    "transitive-panic",
     "unseeded-rng",
     "waiver",
     "wallclock",
@@ -51,17 +66,19 @@ pub fn is_rule(name: &str) -> bool {
     RULE_NAMES.contains(&name)
 }
 
-/// Runs every rule over one file, in deterministic order.
+/// Runs every per-file rule over one file, in deterministic order.
+/// The graph rules run separately over the whole workspace (see
+/// [`check_graph`]).
 #[must_use]
 pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
     let mut findings = Vec::new();
     default_hasher(ctx, &mut findings);
     wallclock(ctx, &mut findings);
-    hot_path_panic(ctx, &mut findings);
     probe_guard(ctx, &mut findings);
     unseeded_rng(ctx, &mut findings);
     bench_prefix(ctx, &mut findings);
     span_name(ctx, &mut findings);
+    registry_drift(ctx, &mut findings);
     findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
     findings
 }
@@ -88,7 +105,7 @@ fn find_ident(line: &str, word: &str) -> Option<usize> {
     None
 }
 
-fn is_ident_byte(b: u8) -> bool {
+pub(crate) fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
@@ -161,47 +178,208 @@ fn wallclock(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
-/// The hot kernel paths where a panic aborts a multi-hour sweep: the
-/// SoA cache kernel, the whole `mct` classification crate, and
-/// decomposed-trace replay.
-fn hot_path(path: &str) -> bool {
-    path == "crates/cache/src/cache.rs"
-        || path == "crates/trace/src/decomposed.rs"
-        || path.starts_with("crates/core/src/")
+/// Panic-family tokens: any of these in a hot-reachable function
+/// aborts a multi-hour sweep.
+const PANIC_TOKENS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Heap-allocation tokens: any of these in a hot-reachable function
+/// stalls the replay loop on the allocator. Scratch memory belongs in
+/// `cache_model::pool`, which is the one exempt module.
+const ALLOC_TOKENS: [&str; 6] = [
+    "Vec::new",
+    "Box::new",
+    "with_capacity",
+    "to_vec",
+    "vec!",
+    "format!",
+];
+
+/// The one module allowed to allocate on behalf of the hot path: the
+/// recycling buffer pool amortizes its allocations across replays by
+/// design.
+const ALLOC_EXEMPT_FILE: &str = "crates/cache/src/pool.rs";
+
+/// Whether `line` contains `token`, with boundary rules per token
+/// shape: plain identifiers match whole-ident, `!`-suffixed macros and
+/// `::`-qualified constructors check the identifier edge they expose.
+fn has_token(line: &str, token: &str) -> bool {
+    if let Some(macro_name) = token.strip_suffix('!') {
+        return find_ident(line, macro_name)
+            .is_some_and(|pos| line.as_bytes().get(pos + macro_name.len()) == Some(&b'!'));
+    }
+    if let Some((_, name)) = token.split_once("::") {
+        let bytes = line.as_bytes();
+        let mut from = 0;
+        while let Some(pos) = line[from..].find(token).map(|p| p + from) {
+            let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+            let end = pos + token.len();
+            let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+            if before_ok && after_ok {
+                return true;
+            }
+            from = pos + name.len().max(1);
+        }
+        return false;
+    }
+    if token.starts_with('.') {
+        return line.contains(token);
+    }
+    has_ident(line, token)
 }
 
-/// `hot-path-panic`: no `unwrap()` / `expect()` / `panic!`-family
-/// macros in the hot kernel paths. Restructure to a total operation
-/// (scan loops instead of `Option` chains, poison recovery on locks)
-/// or waive with a written justification.
-fn hot_path_panic(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
-    if !hot_path(ctx.path) {
-        return;
-    }
-    const TOKENS: [&str; 6] = [
-        ".unwrap()",
-        ".expect(",
-        "panic!",
-        "unreachable!",
-        "todo!",
-        "unimplemented!",
-    ];
-    for (i, line) in ctx.lines.iter().enumerate() {
-        if ctx.is_test_line(i) {
+/// The display spelling of a token in a diagnostic message.
+fn token_label(token: &str) -> &str {
+    token.trim_end_matches('(').trim_start_matches('.')
+}
+
+/// Runs the workspace graph rules: `transitive-panic` and
+/// `hot-path-alloc`. `files[i]` must be the [`FileCtx`] of
+/// `ws.files[i]` (same order the files were added).
+///
+/// Both rules BFS the approximate call graph from every definition
+/// whose name is a registered hot entry point
+/// ([`sim_core::registry::HOT_ENTRY_POINTS`]), never entering a
+/// registered cold escape ([`sim_core::registry::COLD_FN_SUFFIXES`] —
+/// guarded slow paths), then scan the body lines of each reached
+/// function for the offending tokens. Every finding carries the
+/// shortest call chain from the nearest entry point as its `path`
+/// evidence.
+#[must_use]
+pub fn check_graph(ws: &Workspace, files: &[FileCtx<'_>]) -> Vec<Finding> {
+    let adj = ws.call_graph();
+    let parent = ws.reach(
+        &adj,
+        |f| sim_core::registry::hot_entry_point(&f.name),
+        |f| sim_core::registry::cold_fn(&f.name),
+    );
+    let mut findings = Vec::new();
+    for (idx, f) in ws.fns.iter().enumerate() {
+        if parent[idx].is_none() {
             continue;
         }
-        for token in TOKENS {
-            if line.contains(token) {
-                findings.push(Finding::new(
-                    "hot-path-panic",
+        let Some(ctx) = files.get(f.file) else {
+            continue;
+        };
+        let chain = ws.chain(&parent, idx);
+        let root = chain
+            .first()
+            .and_then(|e| e.split(" (").next())
+            .unwrap_or(&f.name)
+            .to_owned();
+        let exempt_alloc = ctx.path == ALLOC_EXEMPT_FILE;
+        for li in f.body.0 - 1..f.body.1.min(ctx.lines.len()) {
+            if ctx.is_test_line(li) {
+                continue;
+            }
+            let line = &ctx.lines[li];
+            for token in PANIC_TOKENS {
+                if has_token(line, token) {
+                    findings.push(
+                        Finding::new(
+                            "transitive-panic",
+                            ctx.path,
+                            li + 1,
+                            format!(
+                                "panicking call ({}) reachable from hot entry point \
+                                 `{root}`; restructure to a total operation or waive \
+                                 with a justification",
+                                token_label(token),
+                            ),
+                        )
+                        .with_path(chain.clone()),
+                    );
+                }
+            }
+            if exempt_alloc {
+                continue;
+            }
+            for token in ALLOC_TOKENS {
+                if has_token(line, token) {
+                    findings.push(
+                        Finding::new(
+                            "hot-path-alloc",
+                            ctx.path,
+                            li + 1,
+                            format!(
+                                "heap allocation ({}) reachable from hot entry point \
+                                 `{root}`; route scratch buffers through \
+                                 cache_model::pool or hoist the allocation off the \
+                                 replay path",
+                                token_label(token),
+                            ),
+                        )
+                        .with_path(chain.clone()),
+                    );
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// `registry-drift`: every string literal spelling a machine-readable
+/// schema identifier (`<family>-repro/<version>`) must match the
+/// canonical identifier in [`sim_core::registry`]. A stale version
+/// after a schema bump, or a new family never registered, both
+/// surface here instead of in a downstream golden test. Test code is
+/// exempt — deliberately wrong schemas are how parsers get negative
+/// coverage.
+fn registry_drift(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    for (line, text) in ctx.strings {
+        if ctx.is_test_line(line.saturating_sub(1)) {
+            continue;
+        }
+        let bytes = text.as_bytes();
+        let mut from = 0;
+        while let Some(pos) = text[from..].find("-repro/").map(|p| p + from) {
+            from = pos + "-repro/".len();
+            // The family: the lowercase run immediately before the
+            // marker, at an identifier boundary.
+            let mut start = pos;
+            while start > 0 && bytes[start - 1].is_ascii_lowercase() {
+                start -= 1;
+            }
+            if start == pos || (start > 0 && is_ident_byte(bytes[start - 1])) {
+                continue;
+            }
+            // The version: the digit run after the slash. A bare
+            // `family-repro/` (a prefix check) has no version and
+            // makes no canonicality claim.
+            let vend = text[from..]
+                .find(|c: char| !c.is_ascii_digit())
+                .map_or(text.len(), |p| p + from);
+            if vend == from {
+                continue;
+            }
+            let family = &text[start..pos];
+            let spelled = &text[start..vend];
+            match sim_core::registry::canonical_schema(family) {
+                Some(canon) if spelled == canon => {}
+                Some(canon) => findings.push(Finding::new(
+                    "registry-drift",
                     ctx.path,
-                    i + 1,
+                    *line,
                     format!(
-                        "panicking call ({}) on a simulator hot path; restructure \
-                         to a total operation or waive with a justification",
-                        token.trim_end_matches('(').trim_start_matches('.')
+                        "schema literal \"{spelled}\" is stale; the canonical \
+                         {family} schema is \"{canon}\" (sim_core::registry)"
                     ),
-                ));
+                )),
+                None => findings.push(Finding::new(
+                    "registry-drift",
+                    ctx.path,
+                    *line,
+                    format!(
+                        "schema literal \"{spelled}\" names an unregistered family \
+                         `{family}`; add it to sim_core::registry"
+                    ),
+                )),
             }
         }
     }
@@ -278,22 +456,13 @@ fn unseeded_rng(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
-/// Layer prefixes a criterion benchmark group name may carry, from
-/// ROADMAP item 5: the prefix names the layer a group exercises, so
-/// bench reports and CI deltas stay navigable as groups accumulate.
-const BENCH_GROUP_PREFIXES: [&str; 6] = [
-    "kernel_",
-    "trace_",
-    "probe_",
-    "sched_",
-    "figure_",
-    "substrate/",
-];
-
 /// `bench-prefix`: every criterion `benchmark_group` in bench code is
-/// named by a string literal carrying a registered layer prefix.
-/// Bench files are whole-file test context, so this rule deliberately
-/// reads every line instead of consulting the test mask.
+/// named by a string literal carrying a layer prefix registered in
+/// [`sim_core::registry::BENCH_GROUP_PREFIXES`] (ROADMAP item 5: the
+/// prefix names the layer a group exercises, so bench reports and CI
+/// deltas stay navigable as groups accumulate). Bench files are
+/// whole-file test context, so this rule deliberately reads every
+/// line instead of consulting the test mask.
 fn bench_prefix(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     if !ctx.path.contains("/benches/") {
         return;
@@ -309,8 +478,7 @@ fn bench_prefix(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
             .iter()
             .find(|(l, _)| *l == i + 1 || *l == i + 2)
             .map(|(_, s)| s.as_str());
-        let registered =
-            name.is_some_and(|n| BENCH_GROUP_PREFIXES.iter().any(|p| n.starts_with(p)));
+        let registered = name.is_some_and(sim_core::registry::bench_group_registered);
         if registered {
             continue;
         }
@@ -328,21 +496,14 @@ fn bench_prefix(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
-/// Component prefixes a span name may carry, mirrored from
-/// `sim_core::span::NAME_PREFIXES`: the prefix names the subsystem
-/// that owns the phase, so trace analytics stay navigable as spans
-/// accumulate. (Duplicated here because simlint is dependency-free by
-/// design; `trace_determinism.rs` pins the real registry.)
-const SPAN_NAME_PREFIXES: [&str; 8] = [
-    "arena_", "cell_", "fault_", "fig_", "probe_", "replay_", "sched_", "sweep_",
-];
-
 /// `span-name`: every `span::enter(` / `span::scope(` call site names
-/// its span with a static string literal carrying a registered
-/// component prefix — dynamic names would defeat the `obs phases`
-/// aggregation and the trace-verification CI step. The name is the
-/// first string literal on the call line or within the next two lines
-/// (rustfmt wraps the argument list of long `scope` calls).
+/// its span with a static string literal carrying a component prefix
+/// registered in [`sim_core::registry::SPAN_NAME_PREFIXES`] — the
+/// exact list `sim_core::span::name_registered` enforces at runtime —
+/// because dynamic names would defeat the `obs phases` aggregation
+/// and the trace-verification CI step. The name is the first string
+/// literal on the call line or within the next two lines (rustfmt
+/// wraps the argument list of long `scope` calls).
 fn span_name(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     // The span module itself defines `enter` and `scope`.
     if ctx.path == "crates/sim-core/src/span.rs" {
@@ -357,7 +518,7 @@ fn span_name(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
             .iter()
             .find(|(l, _)| (i + 1..=i + 3).contains(l))
             .map(|(_, s)| s.as_str());
-        let registered = name.is_some_and(|n| SPAN_NAME_PREFIXES.iter().any(|p| n.starts_with(p)));
+        let registered = name.is_some_and(sim_core::registry::span_name_registered);
         if registered {
             continue;
         }
@@ -414,14 +575,49 @@ mod tests {
     }
 
     #[test]
-    fn hot_path_panic_scopes_to_kernel_files() {
-        let src = "let x = v.pop().unwrap();";
-        assert_eq!(ctx_findings("crates/cache/src/cache.rs", src).len(), 1);
-        assert_eq!(ctx_findings("crates/core/src/table.rs", src).len(), 1);
-        assert!(ctx_findings("crates/experiments/src/fig1.rs", src).is_empty());
+    fn token_boundaries_hold() {
         // unwrap_or is total, not a panic site.
-        let total = "let x = v.pop().unwrap_or(0);";
-        assert!(ctx_findings("crates/cache/src/cache.rs", total).is_empty());
+        assert!(has_token("v.pop().unwrap()", ".unwrap()"));
+        assert!(!has_token("v.pop().unwrap_or(0)", ".unwrap()"));
+        assert!(has_token("let v = vec![0; n];", "vec!"));
+        assert!(!has_token("let v = my_vec(n);", "vec!"));
+        assert!(has_token("let v = Vec::new();", "Vec::new"));
+        assert!(!has_token("let v = SmallVec::newish();", "Vec::new"));
+        assert!(has_token("buf.to_vec()", "to_vec"));
+        assert!(!has_token("buf.to_vector()", "to_vec"));
+        assert!(has_token("Vec::with_capacity(8)", "with_capacity"));
+    }
+
+    #[test]
+    fn registry_drift_checks_schema_literals() {
+        // Canonical spellings are clean.
+        let ok = format!(
+            "const S: &str = \"{}\";\nlet h = \"{}\";",
+            sim_core::registry::SCHEMA_BENCH,
+            sim_core::registry::SCHEMA_OBS,
+        );
+        assert!(ctx_findings("crates/x/src/lib.rs", &ok).is_empty());
+        // A stale version is drift.
+        let stale = "const S: &str = \"bench-repro/1\";";
+        let f = ctx_findings("crates/x/src/lib.rs", stale);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "registry-drift");
+        assert!(f[0].message.contains("stale"), "{}", f[0].message);
+        // An unknown family is drift.
+        let unknown = "let s = \"mrc-repro/1\";";
+        let f = ctx_findings("crates/x/src/lib.rs", unknown);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("unregistered"), "{}", f[0].message);
+        // A schema embedded in a larger literal (a JSON header) is
+        // still checked.
+        let embedded = "let h = \"{\\\"schema\\\":\\\"obs-repro/9\\\"}\";";
+        assert_eq!(ctx_findings("crates/x/src/lib.rs", embedded).len(), 1);
+        // A versionless prefix check makes no canonicality claim.
+        let prefix = "if s.starts_with(\"bench-repro/\") {}";
+        assert!(ctx_findings("crates/x/src/lib.rs", prefix).is_empty());
+        // Test code may spell wrong schemas deliberately.
+        let test = "#[cfg(test)]\nmod tests {\n    const S: &str = \"bench-repro/1\";\n}";
+        assert!(ctx_findings("crates/x/src/lib.rs", test).is_empty());
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! End-to-end checks of the `simlint` binary's CLI contract: help goes
+//! to stdout with exit 0, usage errors go to stderr with exit 2, and a
+//! clean tree lints clean with the `lint-repro/2` JSONL header.
+
+use std::process::Command;
+
+fn simlint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_simlint"))
+}
+
+#[test]
+fn help_prints_usage_to_stdout_and_exits_zero() {
+    for flag in ["-h", "--help"] {
+        let out = simlint().arg(flag).output().expect("run simlint");
+        assert!(out.status.success(), "{flag}: {:?}", out.status);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage: simlint"), "{flag}: {stdout}");
+        assert!(stdout.contains("lint-repro/2"), "{flag}: {stdout}");
+        assert!(out.stderr.is_empty(), "{flag}: help must not use stderr");
+    }
+}
+
+#[test]
+fn unknown_flag_prints_usage_to_stderr_and_exits_two() {
+    let out = simlint().arg("--bogus").output().expect("run simlint");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(out.stdout.is_empty());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage: simlint"), "{stderr}");
+}
+
+#[test]
+fn missing_root_argument_exits_two() {
+    let out = simlint().arg("--root").output().expect("run simlint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn clean_tree_lints_clean_with_v2_header() {
+    let dir = std::env::temp_dir().join(format!("simlint-cli-{}", std::process::id()));
+    let src = dir.join("src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\n# members resolved by simlint's own walker\n",
+    )
+    .expect("write manifest");
+    std::fs::write(src.join("lib.rs"), "pub fn answer() -> u64 {\n    42\n}\n")
+        .expect("write source");
+
+    let out = simlint()
+        .args(["--json", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run simlint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{:?}\n{stdout}", out.status);
+    let header = stdout.lines().next().unwrap_or("");
+    assert!(header.contains("\"schema\":\"lint-repro/2\""), "{header}");
+    assert!(stdout
+        .lines()
+        .last()
+        .unwrap_or("")
+        .contains("\"findings\":0"));
+
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,12 @@
+//! Known-bad fixture: heap allocation reachable from a registered
+//! hot entry point. Linted as `crates/x/src/kernel.rs`.
+
+pub fn fill_at(n: usize) -> Vec<u32> {
+    scratch(n)
+}
+
+fn scratch(n: usize) -> Vec<u32> {
+    let mut buf = Vec::with_capacity(n);
+    buf.extend(std::iter::repeat(0).take(n));
+    buf
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: schema literals that disagree with the
+//! canonical registry in `sim_core`. Linted as `crates/x/src/lib.rs`.
+
+pub const OLD_BENCH: &str = "bench-repro/1";
+
+pub const UNKNOWN_FAMILY: &str = "mrc-repro/1";

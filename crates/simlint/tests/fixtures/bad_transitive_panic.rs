@@ -1,0 +1,14 @@
+//! Known-bad fixture: a panic reachable from a registered hot entry
+//! point through the call graph. Linted as `crates/x/src/kernel.rs`.
+
+pub fn access_block(stamps: &[u64]) -> u64 {
+    newest(stamps)
+}
+
+fn newest(stamps: &[u64]) -> u64 {
+    pick(stamps)
+}
+
+fn pick(stamps: &[u64]) -> u64 {
+    *stamps.iter().max().expect("non-empty block")
+}

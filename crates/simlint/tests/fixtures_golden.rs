@@ -15,10 +15,12 @@ use std::path::Path;
 
 /// Every known-bad fixture with the synthetic path it is linted under.
 /// Order here is the order of blocks in the golden file.
-const BAD_FIXTURES: [(&str, &str); 8] = [
+const BAD_FIXTURES: [(&str, &str); 10] = [
     ("bad_default_hasher.rs", "crates/x/src/lib.rs"),
     ("bad_wallclock.rs", "crates/cpu/src/baseline.rs"),
-    ("bad_hot_path_panic.rs", "crates/cache/src/cache.rs"),
+    ("bad_transitive_panic.rs", "crates/x/src/kernel.rs"),
+    ("bad_hot_path_alloc.rs", "crates/x/src/kernel.rs"),
+    ("bad_registry_drift.rs", "crates/x/src/lib.rs"),
     ("bad_probe_guard.rs", "crates/cpu/src/baseline.rs"),
     ("bad_unseeded_rng.rs", "crates/x/src/lib.rs"),
     ("bad_waiver.rs", "crates/x/src/lib.rs"),
@@ -53,10 +55,17 @@ fn bad_fixtures_match_golden_diagnostics() {
         }
         rendered.push('\n');
     }
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_diagnostics.txt");
+    if std::env::var_os("SIMLINT_BLESS").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("rewrite golden file");
+        return;
+    }
     let golden = include_str!("fixtures/golden_diagnostics.txt");
     assert_eq!(
         rendered, golden,
-        "fixture diagnostics drifted from fixtures/golden_diagnostics.txt"
+        "fixture diagnostics drifted from fixtures/golden_diagnostics.txt \
+         (rerun with SIMLINT_BLESS=1 to accept)"
     );
 }
 
