@@ -411,9 +411,40 @@ fn bench_full_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_mrc(c: &mut Criterion) {
+    let refs = lines(N);
+    let raw: Vec<u64> = refs.iter().map(|l| l.raw()).collect();
+    let mut g = c.benchmark_group("substrate/mrc");
+    g.throughput(Throughput::Elements(N as u64));
+    // The exact engine pays O(log distinct-lines) per event on the
+    // order-statistic tree; this is the single-pass cost of a second
+    // ground truth next to the 3C oracle above.
+    g.bench_function("mrc_exact", |b| {
+        b.iter(|| {
+            let mut engine = mrc::StackDistanceEngine::new();
+            for &line in &raw {
+                engine.record_line(line);
+            }
+            black_box(engine.miss_ratio(256))
+        })
+    });
+    // SHARDS at R=0.01 touches the tree for ~1% of events and keeps
+    // ~1% of the index; the gap to mrc_exact is the sampling speedup.
+    g.bench_function("mrc_sampled", |b| {
+        b.iter(|| {
+            let mut engine = mrc::ShardsEngine::new(0.01).expect("valid rate");
+            for &line in &raw {
+                engine.record_line(line);
+            }
+            black_box(engine.miss_ratio(256))
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = substrate;
     config = Criterion::default().sample_size(10);
-    targets = bench_plain_cache, bench_classifying_cache, bench_probe_null, bench_span_null, bench_oracle, bench_trace_supply, bench_cache_kernel, bench_cache_kernel_partitioned, bench_full_pipeline,
+    targets = bench_plain_cache, bench_classifying_cache, bench_probe_null, bench_span_null, bench_oracle, bench_trace_supply, bench_cache_kernel, bench_cache_kernel_partitioned, bench_full_pipeline, bench_mrc,
 }
 criterion_main!(substrate);

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! obs summarize FILE [--cell SUBSTR] [--top K]
+//! obs mrc FILE
 //! obs timeline FILE
 //! obs flame FILE
 //! obs phases FILE
@@ -35,6 +36,8 @@ fn usage() -> ExitCode {
          \u{20}  --cell SUBSTR  also print the per-epoch table of cells whose\n\
          \u{20}                 target/cell name contains SUBSTR\n\
          \u{20}  --top K        rows in the hottest-sets section (default 10)\n\
+         mrc FILE         render miss-ratio curves + the MCT capacity cross-check\n\
+         \u{20}                 for an mrc-repro/1 file (from `repro --mrc`)\n\
          timeline FILE    per-worker busy lanes + utilization for a span trace\n\
          flame FILE       folded stacks (flamegraph.pl / speedscope input)\n\
          phases FILE      total/self time, call count, events/s per phase\n\
@@ -153,6 +156,7 @@ fn run(args: Vec<String>) -> Result<Output, String> {
     let mut args = args.into_iter();
     match args.next().as_deref() {
         Some("summarize") => summarize_cmd(args).map(Output::pass),
+        Some("mrc") => one_file(args, "mrc file", experiments::mrc::render).map(Output::pass),
         Some("timeline") => one_file(args, "trace file", traceview::timeline).map(Output::pass),
         Some("flame") => one_file(args, "trace file", traceview::flame).map(Output::pass),
         Some("phases") => one_file(args, "trace file", traceview::phases).map(Output::pass),

@@ -46,6 +46,7 @@ fn usage() -> ExitCode {
          [--trace-out PATH] [--trace-format jsonl|chrome] [--trace-logical-clock] \
          [--fault SEED:RATE] [--fault-persistent] \
          [--checkpoint PATH] [--resume] [--crash-after N] \
+         [--mrc] [--mrc-sample R] [--mrc-out PATH] \
          [fig1|fig2|fig3|tab1|fig4|fig5|sec54|sec56|fig6|fig7|ablation|all]\n\
          \n\
          --events N       trace events per workload (default {})\n\
@@ -67,6 +68,13 @@ fn usage() -> ExitCode {
          \u{20}                at any --threads (determinism tests)\n\
          --fault S:R      inject seeded faults: seed S, rate R in [0,1]\n\
          --fault-persistent  injected faults defeat every retry (degrades cells)\n\
+         --mrc            run the miss-ratio-curve family (alone, or after the\n\
+         \u{20}                listed targets): per-workload LRU stack-distance\n\
+         \u{20}                curves plus the MCT capacity cross-check\n\
+         --mrc-sample R   SHARDS spatial sampling at rate R in (0,1] instead of\n\
+         \u{20}                the exact engine (O(sampled lines) memory)\n\
+         --mrc-out P      mrc-repro/1 JSONL path (default MRC_repro.jsonl);\n\
+         \u{20}                inspect with `obs mrc P`\n\
          --checkpoint P   persist completed cells to P as fault-repro/1 JSONL\n\
          --resume         skip cells already completed in the checkpoint\n\
          --crash-after N  exit({CRASH_EXIT}) after N cells are checkpointed (chaos tests)\n\
@@ -267,6 +275,28 @@ fn main() -> ExitCode {
         }
     }
 
+    // The MRC family rides along after the targets: it reuses the
+    // same arenas (or streams) but is not a checkpointable Target, so
+    // it runs once the sweep proper has settled.
+    let mut mrc_run = None;
+    if opts.mrc {
+        let start = Stopwatch::start();
+        let run = sim_core::span::scope(
+            sim_core::span::ScopeKind::Figure,
+            "fig_mrc",
+            "mrc",
+            String::new,
+            || experiments::mrc::run(events, opts.mrc_sample),
+        );
+        rendered_all.push(run.to_string());
+        figures.push(FigureBench::ok(
+            "mrc",
+            start.elapsed_seconds(),
+            experiments::mrc::simulated_events(events),
+        ));
+        mrc_run = Some(run);
+    }
+
     for rendered in &rendered_all {
         println!("{rendered}\n");
     }
@@ -310,6 +340,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("[bench] wrote {}", path.display());
+    }
+
+    if let (Some(run), Some(path)) = (&mrc_run, &opts.mrc_out) {
+        if let Err(err) = ioutil::write_with_retry(path, &run.to_jsonl()) {
+            eprintln!("repro: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[mrc] wrote {} ({} engine, {} curves, {} cross-check cells)",
+            path.display(),
+            run.mode(),
+            run.curves.len(),
+            run.cells.len(),
+        );
     }
 
     if let (Some(mode), Some(path)) = (opts.probe, &opts.probe_out) {

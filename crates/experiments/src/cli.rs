@@ -210,6 +210,14 @@ pub struct Options {
     /// `--stream`: chunked generator replay with O(chunk) memory
     /// instead of arena-resident traces; output is byte-identical.
     pub stream: bool,
+    /// `--mrc`: run the miss-ratio-curve family after the targets.
+    pub mrc: bool,
+    /// `--mrc-sample R`: SHARDS sampling rate in `(0, 1]` (`None` =
+    /// exact engine).
+    pub mrc_sample: Option<f64>,
+    /// Where the `mrc-repro/1` JSONL goes (defaults to
+    /// `MRC_repro.jsonl` when `--mrc` is given).
+    pub mrc_out: Option<PathBuf>,
     /// Targets to run, in order.
     pub targets: Vec<Target>,
 }
@@ -238,6 +246,9 @@ where
     let mut trace_format: Option<TraceFormat> = None;
     let mut trace_logical_clock = false;
     let mut stream = false;
+    let mut mrc = false;
+    let mut mrc_sample: Option<f64> = None;
+    let mut mrc_out: Option<PathBuf> = None;
     let mut targets = Vec::new();
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -322,6 +333,21 @@ where
             }
             "--trace-logical-clock" => trace_logical_clock = true,
             "--stream" => stream = true,
+            "--mrc" => mrc = true,
+            "--mrc-sample" => {
+                let value = args.next().ok_or("--mrc-sample needs a rate in (0, 1]")?;
+                let rate: f64 = value
+                    .parse()
+                    .map_err(|_| format!("--mrc-sample needs a number in (0, 1], got `{value}`"))?;
+                if !rate.is_finite() || rate <= 0.0 || rate > 1.0 {
+                    return Err(format!("--mrc-sample must be within (0, 1], got `{value}`"));
+                }
+                mrc_sample = Some(rate);
+            }
+            "--mrc-out" => {
+                let value = args.next().ok_or("--mrc-out needs a path")?;
+                mrc_out = Some(PathBuf::from(value));
+            }
             "--help" | "-h" => return Err(String::new()),
             "all" => targets.extend(Target::ALL),
             other if other.starts_with('-') => {
@@ -334,8 +360,21 @@ where
             }
         }
     }
-    if targets.is_empty() {
+    // A bare `repro --mrc` runs only the MRC family; mixing it with
+    // explicit targets (or `all`) appends it after them.
+    if targets.is_empty() && !mrc {
         targets.extend(Target::ALL);
+    }
+    if !mrc {
+        if mrc_sample.is_some() {
+            return Err("--mrc-sample without --mrc; add `--mrc`".into());
+        }
+        if mrc_out.is_some() {
+            return Err("--mrc-out without --mrc; add `--mrc`".into());
+        }
+    }
+    if mrc && mrc_out.is_none() {
+        mrc_out = Some(PathBuf::from("MRC_repro.jsonl"));
     }
     if probe_out.is_some() && probe.is_none() {
         return Err("--probe-out without --probe; add `--probe epoch:N` or `--probe raw`".into());
@@ -379,6 +418,9 @@ where
         trace_format: trace_format.unwrap_or(TraceFormat::Jsonl),
         trace_logical_clock,
         stream,
+        mrc,
+        mrc_sample,
+        mrc_out,
         targets,
     })
 }
@@ -634,6 +676,57 @@ mod tests {
         assert!(err.contains("without --trace-out"), "{err}");
         let err = parse(&["--trace-logical-clock"]).unwrap_err();
         assert!(err.contains("without --trace-out"), "{err}");
+    }
+
+    #[test]
+    fn parses_mrc_flags() {
+        // Bare --mrc runs only the MRC family, with a default output
+        // path and the exact engine.
+        let opts = parse(&["--mrc"]).unwrap();
+        assert!(opts.mrc);
+        assert_eq!(opts.mrc_sample, None);
+        assert_eq!(
+            opts.mrc_out.as_deref(),
+            Some(std::path::Path::new("MRC_repro.jsonl"))
+        );
+        assert!(opts.targets.is_empty());
+
+        // Mixed with targets it rides along after them.
+        let opts = parse(&["--mrc", "--mrc-sample", "0.01", "fig1"]).unwrap();
+        assert_eq!(opts.targets, vec![Target::Fig1]);
+        assert_eq!(opts.mrc_sample, Some(0.01));
+
+        let opts = parse(&["--mrc", "--mrc-out", "out/curves.jsonl"]).unwrap();
+        assert_eq!(
+            opts.mrc_out.as_deref(),
+            Some(std::path::Path::new("out/curves.jsonl"))
+        );
+
+        // Rate 1 is the exact engine spelled as a sample rate.
+        assert_eq!(
+            parse(&["--mrc", "--mrc-sample", "1.0"]).unwrap().mrc_sample,
+            Some(1.0)
+        );
+
+        // Defaults stay off (and targets default to ALL).
+        let opts = parse(&["fig1"]).unwrap();
+        assert!(!opts.mrc);
+        assert_eq!(opts.mrc_sample, None);
+        assert_eq!(opts.mrc_out, None);
+    }
+
+    #[test]
+    fn rejects_bad_mrc_flags() {
+        assert!(parse(&["--mrc", "--mrc-sample", "0"]).is_err());
+        assert!(parse(&["--mrc", "--mrc-sample", "-0.5"]).is_err());
+        assert!(parse(&["--mrc", "--mrc-sample", "1.5"]).is_err());
+        assert!(parse(&["--mrc", "--mrc-sample", "NaN"]).is_err());
+        assert!(parse(&["--mrc", "--mrc-sample", "lots"]).is_err());
+        assert!(parse(&["--mrc", "--mrc-sample"]).is_err());
+        let err = parse(&["--mrc-sample", "0.1"]).unwrap_err();
+        assert!(err.contains("without --mrc"), "{err}");
+        let err = parse(&["--mrc-out", "m.jsonl"]).unwrap_err();
+        assert!(err.contains("without --mrc"), "{err}");
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod ioutil;
 pub mod jsonl;
+pub mod mrc;
 pub mod obs;
 pub mod probe;
 pub mod sec54;

@@ -2,7 +2,8 @@
 //! emits: `bench-repro/2` (from `repro --bench-json`), `obs-repro/1`
 //! (from `repro --probe`), `fault-repro/1` (from
 //! `repro --checkpoint`), `trace-repro/1` (from `repro --trace-out`),
-//! and `lint-repro/2` (from `cargo run -p simlint -- --json`).
+//! `mrc-repro/1` (from `repro --mrc`), and `lint-repro/2` (from
+//! `cargo run -p simlint -- --json`).
 //! Downstream tooling parses these files across PRs, so any field
 //! rename, reordering, or escaping change must show up as a deliberate
 //! diff here (and a schema version bump).
@@ -293,6 +294,64 @@ fn trace_repro_1_jsonl_is_stable() {
     let logical = tracing::render_jsonl(&records, &logical_header, Some(&metrics));
     assert!(!logical.contains("\"type\":\"metrics\""));
     assert!(logical.contains("\"worker\":0,\"name\":\"cell_run\",\"id\":1,\"parent\":0,\"depth\":0,\"start_ns\":0,\"dur_ns\":0"));
+}
+
+#[test]
+fn mrc_repro_1_jsonl_is_stable() {
+    let run = experiments::mrc::MrcRun {
+        sample: Some(0.25),
+        events: 2000,
+        curves: vec![experiments::mrc::WorkloadCurve {
+            // Exercise string escaping in the workload name.
+            workload: "swim \"odd\"".to_owned(),
+            events: 2000,
+            sampled_events: 512,
+            distinct_lines: 40,
+            points: vec![
+                mrc::CurvePoint {
+                    capacity_lines: 16,
+                    miss_ratio: 0.5,
+                },
+                mrc::CurvePoint {
+                    capacity_lines: 256,
+                    miss_ratio: 0.125,
+                },
+            ],
+        }],
+        cells: vec![experiments::mrc::CapacityCell {
+            config: "16KB DM".to_owned(),
+            workload: "swim \"odd\"".to_owned(),
+            capacity_lines: 256,
+            mrc_miss_ratio: 0.125,
+            mct_capacity_ratio: 0.1,
+            real_miss_ratio: 0.2,
+        }],
+    };
+    let expected = concat!(
+        "{\"schema\":\"mrc-repro/1\",\"mode\":\"sampled\",\"sample_rate\":0.250000,\"events\":2000,\"workloads\":1,\"cells\":1}\n",
+        "{\"type\":\"curve\",\"workload\":\"swim \\\"odd\\\"\",\"events\":2000,\"sampled_events\":512,\"distinct_lines\":40,\"points\":[[16,0.500000],[256,0.125000]]}\n",
+        "{\"type\":\"cell\",\"config\":\"16KB DM\",\"workload\":\"swim \\\"odd\\\"\",\"capacity_lines\":256,\"mrc_miss_ratio\":0.125000,\"mct_capacity_ratio\":0.100000,\"real_miss_ratio\":0.200000}\n",
+    );
+    let rendered = run.to_jsonl();
+    assert_eq!(rendered, expected);
+
+    // The golden text must round-trip through the workspace's own JSON
+    // reader (escapes included) and carry the registered schema.
+    let values = experiments::jsonl::parse_lines(&rendered).expect("golden mrc JSONL parses");
+    assert_eq!(values.len(), 3);
+    assert_eq!(
+        values[0].str_field("schema"),
+        Some(sim_core::registry::SCHEMA_MRC)
+    );
+    assert_eq!(values[1].str_field("workload"), Some("swim \"odd\""));
+    let points = values[1].get("points").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(points.len(), 2);
+    assert_eq!(values[2].u64_field("capacity_lines"), Some(256));
+
+    // ... and render through the `obs mrc` view without loss.
+    let report = experiments::mrc::render(&rendered).expect("golden mrc renders");
+    assert!(report.contains("swim \"odd\""), "{report}");
+    assert!(report.contains("rate=0.25"), "{report}");
 }
 
 #[test]

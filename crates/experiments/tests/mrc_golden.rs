@@ -1,0 +1,37 @@
+//! Golden test for the `obs mrc` view: the committed fixture
+//! `tests/fixtures/MRC_fixture.jsonl` rendered byte-for-byte against
+//! the committed expected report. A formatting change to the view
+//! must show up as a deliberate diff to the `.txt` fixture.
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn mrc_report_matches_golden() {
+    let report = experiments::mrc::render(&fixture("MRC_fixture.jsonl")).expect("fixture renders");
+    assert_eq!(report, fixture("MRC_fixture.report.txt"));
+}
+
+#[test]
+fn fixture_round_trips_through_the_jsonl_reader() {
+    let text = fixture("MRC_fixture.jsonl");
+    let values = experiments::jsonl::parse_lines(&text).expect("fixture parses");
+    assert_eq!(values.len(), 8);
+    assert_eq!(
+        values[0].str_field("schema"),
+        Some(sim_core::registry::SCHEMA_MRC)
+    );
+    let curves = values
+        .iter()
+        .filter(|v| v.str_field("type") == Some("curve"))
+        .count();
+    let cells = values
+        .iter()
+        .filter(|v| v.str_field("type") == Some("cell"))
+        .count();
+    assert_eq!((curves, cells), (3, 4));
+}

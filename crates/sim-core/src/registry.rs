@@ -31,17 +31,22 @@ pub const SCHEMA_FAULT: &str = "fault-repro/1";
 /// Schema identifier of the lint JSONL (`simlint --json`).
 pub const SCHEMA_LINT: &str = "lint-repro/2";
 
+/// Schema identifier of the miss-ratio-curve JSONL (`repro --mrc`).
+pub const SCHEMA_MRC: &str = "mrc-repro/1";
+
 /// Every current schema identifier, sorted by family name.
-pub const SCHEMAS: [&str; 5] = [
+pub const SCHEMAS: [&str; 6] = [
     SCHEMA_BENCH,
     SCHEMA_FAULT,
     SCHEMA_LINT,
+    SCHEMA_MRC,
     SCHEMA_OBS,
     SCHEMA_TRACE,
 ];
 
 /// The canonical identifier for a schema family (`"bench"`, `"obs"`,
-/// `"trace"`, `"fault"`, `"lint"`), or `None` for an unknown family.
+/// `"trace"`, `"fault"`, `"lint"`, `"mrc"`), or `None` for an unknown
+/// family.
 ///
 /// A schema string is spelled `<family>-repro/<version>`; the family
 /// resolves which current identifier a given spelling must match.
@@ -53,6 +58,7 @@ pub fn canonical_schema(family: &str) -> Option<&'static str> {
         "trace" => Some(SCHEMA_TRACE),
         "fault" => Some(SCHEMA_FAULT),
         "lint" => Some(SCHEMA_LINT),
+        "mrc" => Some(SCHEMA_MRC),
         _ => None,
     }
 }
@@ -156,7 +162,7 @@ mod tests {
             assert!(!version.is_empty() && version.chars().all(|c| c.is_ascii_digit()));
             assert_eq!(canonical_schema(family), Some(schema));
         }
-        assert_eq!(canonical_schema("mrc"), None);
+        assert_eq!(canonical_schema("amb"), None);
     }
 
     #[test]

@@ -604,7 +604,7 @@ mod tests {
         assert_eq!(f[0].rule, "registry-drift");
         assert!(f[0].message.contains("stale"), "{}", f[0].message);
         // An unknown family is drift.
-        let unknown = "let s = \"mrc-repro/1\";";
+        let unknown = "let s = \"mystery-repro/1\";";
         let f = ctx_findings("crates/x/src/lib.rs", unknown);
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("unregistered"), "{}", f[0].message);

@@ -3,4 +3,4 @@
 
 pub const OLD_BENCH: &str = "bench-repro/1";
 
-pub const UNKNOWN_FAMILY: &str = "mrc-repro/1";
+pub const UNKNOWN_FAMILY: &str = "mystery-repro/1";

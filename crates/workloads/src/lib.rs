@@ -125,10 +125,24 @@ pub fn suite() -> Vec<Workload> {
     recipes::suite()
 }
 
-/// Looks a workload up by name in the full suite.
+/// The kernel-taxonomy patterns from ROADMAP item 5 (`uniform`,
+/// `working_set_128`, `working_set_512`): the line-address shapes the
+/// substrate benches sweep, promoted to workloads so figure drivers
+/// and smoke tests can exercise the taxonomy end-to-end. Kept out of
+/// [`full_suite`] so the paper figures stay SPEC95-analog-only.
+#[must_use]
+pub fn taxonomy_suite() -> Vec<Workload> {
+    recipes::taxonomy_suite()
+}
+
+/// Looks a workload up by name in the full suite or the taxonomy
+/// suite.
 #[must_use]
 pub fn by_name(name: &str) -> Option<Workload> {
-    full_suite().into_iter().find(|w| w.name() == name)
+    full_suite()
+        .into_iter()
+        .chain(taxonomy_suite())
+        .find(|w| w.name() == name)
 }
 
 #[cfg(test)]
@@ -166,6 +180,28 @@ mod tests {
     fn by_name_finds_and_misses() {
         assert!(by_name("tomcatv").is_some());
         assert!(by_name("no-such-benchmark").is_none());
+    }
+
+    #[test]
+    fn taxonomy_suite_is_disjoint_and_deterministic() {
+        let names: Vec<_> = taxonomy_suite().iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["uniform", "working_set_128", "working_set_512"]);
+        let full: Vec<_> = full_suite().iter().map(|w| w.name()).collect();
+        for name in &names {
+            assert!(!full.contains(name), "{name} leaked into the full suite");
+        }
+        assert!(by_name("working_set_512").is_some());
+        for w in taxonomy_suite() {
+            let stream = |mut s: Box<dyn TraceSource>| -> Vec<_> {
+                (0..200).map(|_| s.next_event().access.addr).collect()
+            };
+            assert_eq!(
+                stream(w.source(7)),
+                stream(w.source(7)),
+                "{} not deterministic",
+                w.name()
+            );
+        }
     }
 
     #[test]

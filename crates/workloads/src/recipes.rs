@@ -70,6 +70,12 @@ pub(crate) enum Kind {
     Ijpeg,
     Perl,
     Vortex,
+    // Kernel-taxonomy patterns (ROADMAP item 5): the line-address
+    // shapes the substrate benches sweep, promoted to workloads so the
+    // figure drivers exercise them end-to-end.
+    Uniform,
+    WorkingSet128,
+    WorkingSet512,
 }
 
 fn mix_seed(kind: Kind, seed: u64) -> u64 {
@@ -712,6 +718,30 @@ pub(crate) fn build(kind: Kind, seed: u64) -> Box<dyn TraceSource> {
             32,
             s,
         ),
+        // ---- kernel-taxonomy patterns -----------------------------
+        // uniform: seeded uniform-random lines over a footprint 16x
+        // the paper's L1 — no locality at all, the kernel benches'
+        // worst case for any recency-based structure.
+        Kind::Uniform => boxed(
+            ZipfAccess::new(seg(0), 4096, 64, 0.0, s)
+                .with_work(4)
+                .with_pc(pc(1)),
+        ),
+        // working_set_128: cyclic sweep over 128 lines (8 KB) — fits
+        // the paper's L1 with room to spare, so steady state is
+        // hit-dominated.
+        Kind::WorkingSet128 => boxed(
+            SequentialSweep::new(seg(0), 128 * 64, 8)
+                .with_work(4)
+                .with_pc(pc(1)),
+        ),
+        // working_set_512: cyclic sweep over 512 lines (32 KB) — twice
+        // the paper's L1, so steady state is pure capacity thrash.
+        Kind::WorkingSet512 => boxed(
+            SequentialSweep::new(seg(0), 512 * 64, 8)
+                .with_work(4)
+                .with_pc(pc(1)),
+        ),
     }
 }
 
@@ -825,6 +855,31 @@ pub(crate) fn full_suite() -> Vec<Workload> {
             "object database: skewed heap + index walks",
             Category::Int,
             Kind::Vortex,
+        ),
+    ]
+}
+
+/// The kernel-taxonomy patterns (ROADMAP item 5), kept out of
+/// [`full_suite`] so the paper figures stay SPEC95-analog-only.
+pub(crate) fn taxonomy_suite() -> Vec<Workload> {
+    vec![
+        Workload::new(
+            "uniform",
+            "taxonomy: uniform-random lines over 16x the L1",
+            Category::Int,
+            Kind::Uniform,
+        ),
+        Workload::new(
+            "working_set_128",
+            "taxonomy: cyclic 8 KB working set, hit-dominated",
+            Category::Fp,
+            Kind::WorkingSet128,
+        ),
+        Workload::new(
+            "working_set_512",
+            "taxonomy: cyclic 32 KB working set, capacity thrash",
+            Category::Fp,
+            Kind::WorkingSet512,
         ),
     ]
 }
